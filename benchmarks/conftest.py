@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one artifact of the paper's evaluation and
+prints the same rows/series the paper reports.  Scale knobs (all via
+environment variables so CI and full runs share code):
+
+* ``REPRO_BENCH_HOURS``  — simulated budget per campaign (default 24,
+  the paper's budget; the virtual clock compresses this to ~1.5k-2.4k
+  executions per campaign).
+* ``REPRO_BENCH_REPS``   — repetitions per engine/target (default 2;
+  the paper uses 10).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import CampaignConfig
+
+BENCH_HOURS = float(os.environ.get("REPRO_BENCH_HOURS", "24"))
+BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "2"))
+
+
+def bench_config() -> CampaignConfig:
+    return CampaignConfig(budget_hours=BENCH_HOURS, record_every=20)
+
+
+@pytest.fixture
+def config():
+    return bench_config()
+
+
+def print_block(title: str, body: str) -> None:
+    """Print a labelled report block (visible with -s / benchmark runs)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,75 @@
+"""Figure 4 (a)-(f): average paths covered by Peach and Peach* over 24 h.
+
+One benchmark per panel, in the paper's order.  Each prints the averaged
+series table and an ASCII chart of both curves; the aggregate test checks
+the cross-panel headline shape (Peach* ahead on average).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_HOURS, BENCH_REPS, bench_config, \
+    print_block
+from repro.analysis import render_panel_report, run_fig4_panel
+from repro.protocols import get_target
+
+_PANELS = {}  # target name -> Fig4Panel (shared across the session)
+
+PANEL_ORDER = (
+    ("a", "libmodbus"),
+    ("b", "iec104"),
+    ("c", "libiec61850"),
+    ("d", "lib60870"),
+    ("e", "libiccp"),
+    ("f", "opendnp3"),
+)
+
+
+def _panel(target_name):
+    if target_name not in _PANELS:
+        _PANELS[target_name] = run_fig4_panel(
+            get_target(target_name), repetitions=BENCH_REPS,
+            budget_hours=BENCH_HOURS, base_seed=100,
+            config=bench_config())
+    return _PANELS[target_name]
+
+
+@pytest.mark.parametrize("letter,target_name", PANEL_ORDER,
+                         ids=[f"fig4{l}_{t}" for l, t in PANEL_ORDER])
+def test_fig4_panel(benchmark, letter, target_name):
+    panel = benchmark.pedantic(_panel, args=(target_name,),
+                               rounds=1, iterations=1)
+    print_block(f"Figure 4({letter}): {target_name}",
+                render_panel_report(panel))
+    # shape checks: both fuzzers make progress and curves rise early
+    assert panel.peach_curve[-1][1] > 0
+    assert panel.star_curve[-1][1] > 0
+    first_hour = panel.star_curve[0][1]
+    assert panel.star_curve[-1][1] >= first_hour  # monotone growth
+
+
+def test_fig4_aggregate_star_leads(benchmark):
+    """Cross-panel headline: Peach* covers more paths on average.
+
+    The paper reports per-project gains of 8.35%-36.84%; individual
+    panels are noisy at our repetition count, so the assertion is on the
+    cross-project aggregate.
+    """
+    def aggregate():
+        return [ _panel(name) for _letter, name in PANEL_ORDER ]
+
+    panels = benchmark.pedantic(aggregate, rounds=1, iterations=1)
+    increases = [panel.final_increase_pct for panel in panels]
+    rows = "\n".join(
+        f"  {panel.target_name:<13} peach={panel.peach_curve[-1][1]:7.1f} "
+        f"peach*={panel.star_curve[-1][1]:7.1f}  ({inc:+6.2f}%)"
+        for panel, inc in zip(panels, increases))
+    mean = sum(increases) / len(increases)
+    print_block(
+        "Figure 4 aggregate (paper: +8.35%..+36.84% per project, "
+        "avg +27.35%)",
+        rows + f"\n  mean increase: {mean:+.2f}%")
+    star_total = sum(panel.star_curve[-1][1] for panel in panels)
+    peach_total = sum(panel.peach_curve[-1][1] for panel in panels)
+    assert star_total > peach_total

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: fuzz the Modbus target with Peach* for two simulated hours.
+
+Demonstrates the three-line public API — pick a target, run a campaign,
+inspect the results — plus what the coverage feedback produced: paths,
+puzzle corpus size and any crashes with their ASan-style reports.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CampaignConfig, get_target, run_campaign
+
+
+def main() -> None:
+    spec = get_target("libmodbus")
+    print(f"target: {spec.paper_project} — {spec.description}")
+
+    config = CampaignConfig(budget_hours=2.0)
+    result = run_campaign("peach-star", spec, seed=1, config=config)
+
+    print(f"\nexecutions        : {result.executions}")
+    print(f"paths covered     : {result.final_paths}")
+    print(f"distinct edges    : {result.final_edges}")
+    print(f"semantic packets  : {result.stats['semantic_executions']}")
+    print(f"puzzle corpus size: {result.stats['puzzles']}")
+
+    print(f"\nunique crashes: {len(result.unique_crashes)}")
+    for report in result.unique_crashes:
+        hours = result.crash_times.get(report.dedup_key, 0.0)
+        print(f"\n--- first seen at {hours:.2f} simulated hours ---")
+        print(report.render())
+
+    print("\npaths over time (simulated hours -> paths):")
+    step = max(1, len(result.series) // 10)
+    for hours, paths in result.series[::step]:
+        print(f"  {hours:6.2f}h  {paths:4d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — Peach*: ICS protocol fuzzing with coverage-guided packet
+crack and generation (reproduction of Luo et al., DAC 2020).
+
+Quickstart
+----------
+
+>>> from repro import get_target, run_campaign, CampaignConfig
+>>> spec = get_target("libmodbus")
+>>> result = run_campaign("peach-star", spec, seed=1,
+...                       config=CampaignConfig(budget_hours=2.0))
+>>> result.final_paths > 0
+True
+
+Layers
+------
+
+* :mod:`repro.model` — Peach-style data models (fields, relations,
+  fixups, mutators, XML pits)
+* :mod:`repro.runtime` — coverage maps, instrumentation, simulated clock
+* :mod:`repro.sanitizer` — simulated heap + ASan-style crash reports
+* :mod:`repro.protocols` — the six ICS targets of the paper's evaluation
+* :mod:`repro.core` — the Peach* engine (seed pool, cracker, corpus,
+  semantic generation, fixup, campaigns)
+* :mod:`repro.analysis` — regenerates the paper's figures and tables
+"""
+
+from repro.core import (
+    CampaignConfig, CampaignResult, FileCracker, GenerationFuzzer,
+    PeachStar, PuzzleCorpus, SeedPool, SemanticGenerator,
+    default_campaign_policy, make_engine, run_campaign, run_repetitions,
+)
+from repro.model import (
+    Blob, Block, Choice, DataModel, GenerationPolicy, MutatorProvider,
+    Number, ParseError, Pit, Repeat, Str, load_pit_file, load_pit_string,
+)
+from repro.protocols import TargetSpec, all_targets, get_target
+from repro.runtime import Target, TracingCollector
+from repro.sanitizer import CrashDatabase, MemoryFault, SimHeap
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Blob", "Block", "CampaignConfig", "CampaignResult", "Choice",
+    "CrashDatabase", "DataModel", "FileCracker", "GenerationFuzzer",
+    "GenerationPolicy", "MemoryFault", "MutatorProvider", "Number",
+    "ParseError", "PeachStar", "Pit", "PuzzleCorpus", "Repeat", "SeedPool",
+    "SemanticGenerator", "SimHeap", "Str", "Target", "TargetSpec",
+    "TracingCollector", "all_targets", "default_campaign_policy",
+    "get_target", "load_pit_file", "load_pit_string", "make_engine",
+    "run_campaign", "run_repetitions", "__version__",
+]

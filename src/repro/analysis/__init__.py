@@ -1,0 +1,23 @@
+"""Evaluation harness: regenerates every table and figure of the paper."""
+
+from repro.analysis.export import (
+    campaign_to_dict, campaign_to_json, campaigns_to_csv,
+    panel_to_markdown, panels_to_markdown, write_campaign_json,
+    write_series_csv,
+)
+from repro.analysis.figures import (
+    DEFAULT_CHECKPOINTS, Fig4Panel, ascii_chart, render_panel_report,
+    run_fig4_panel,
+)
+from repro.analysis.speedup import HeadlineReport, run_headline
+from repro.analysis.tables import (
+    BUGGY_TARGETS, PAPER_TABLE1, Table1Row, expected_counts, getcot_report,
+    render_table1, run_table1_row,
+)
+
+__all__ = [
+    "BUGGY_TARGETS", "DEFAULT_CHECKPOINTS", "Fig4Panel", "HeadlineReport",
+    "PAPER_TABLE1", "Table1Row", "ascii_chart", "expected_counts",
+    "getcot_report", "render_panel_report", "render_table1",
+    "run_fig4_panel", "run_headline", "run_table1_row",
+]

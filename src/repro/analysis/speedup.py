@@ -1,0 +1,72 @@
+"""Speed headline reproduction (§V-B): same coverage at 1.2X-25X.
+
+For each project, measure how much faster Peach* reaches the path
+coverage that baseline Peach achieves by the end of the budget, and the
+final path increase — the two headline numbers of the paper's abstract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.campaign import CampaignConfig, run_repetitions
+from repro.core.stats import ComparisonSummary, compare
+from repro.protocols import TargetSpec, all_targets
+
+
+@dataclass
+class HeadlineReport:
+    """Per-target comparison rows plus aggregate headline numbers."""
+
+    summaries: List[ComparisonSummary]
+
+    @property
+    def average_increase_pct(self) -> float:
+        if not self.summaries:
+            return 0.0
+        return sum(s.path_increase_pct for s in self.summaries) / \
+            len(self.summaries)
+
+    @property
+    def speedup_range(self) -> tuple:
+        speeds = [s.speedup for s in self.summaries if s.speedup]
+        if not speeds:
+            return (None, None)
+        return (min(speeds), max(speeds))
+
+    def render(self) -> str:
+        lines = [
+            "Peach vs Peach*: paths covered and speed to equal coverage",
+            "-" * 66,
+        ]
+        lines.extend(summary.row() for summary in self.summaries)
+        lines.append("-" * 66)
+        low, high = self.speedup_range
+        if low is not None:
+            lines.append(
+                f"speedup range {low:.1f}X-{high:.1f}X "
+                "(paper: 1.2X-25X)")
+        lines.append(
+            f"average path increase {self.average_increase_pct:+.2f}% "
+            "(paper: +27.35%, range 8.35%-36.84%)")
+        return "\n".join(lines)
+
+
+def run_headline(targets: Optional[List[TargetSpec]] = None, *,
+                 repetitions: int = 3, budget_hours: float = 24.0,
+                 base_seed: int = 50,
+                 config: Optional[CampaignConfig] = None) -> HeadlineReport:
+    """Run the full §V-B comparison across the selected targets."""
+    if targets is None:
+        targets = list(all_targets())
+    summaries = []
+    for spec in targets:
+        cfg = config if config is not None else CampaignConfig()
+        cfg.budget_hours = budget_hours
+        peach = run_repetitions("peach", spec, repetitions=repetitions,
+                                base_seed=base_seed, config=cfg)
+        star = run_repetitions("peach-star", spec, repetitions=repetitions,
+                               base_seed=base_seed, config=cfg)
+        summaries.append(compare(peach, star, budget_hours))
+    return HeadlineReport(summaries=summaries)

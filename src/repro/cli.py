@@ -1,0 +1,161 @@
+"""Command-line interface: ``peachstar`` (or ``python -m repro.cli``).
+
+Sub-commands:
+
+* ``targets`` — list the six protocol targets and their seeded bugs
+* ``fuzz``    — run one campaign (``--engine peach|peach-star``)
+* ``compare`` — Peach vs Peach* on one target, with the ASCII Fig. 4 panel
+* ``crack``   — crack a packet (hex) against a target's pit and print the
+  InsTree + puzzles, demonstrating paper Alg. 2
+* ``table1``  — reproduce the paper's Table I on the bug-carrying targets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    render_panel_report, render_table1, run_fig4_panel, run_table1_row,
+)
+from repro.analysis.tables import BUGGY_TARGETS
+from repro.core import CampaignConfig, PuzzleCorpus, run_campaign
+from repro.core.cracker import FileCracker
+from repro.model.fields import ParseError
+from repro.protocols import all_targets, get_target
+
+
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--hours", type=float, default=24.0,
+                        help="simulated budget in hours (default 24)")
+    parser.add_argument("--max-execs", type=int, default=200_000,
+                        help="hard execution bound")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign RNG seed")
+
+
+def _config(args) -> CampaignConfig:
+    return CampaignConfig(budget_hours=args.hours,
+                          max_executions=args.max_execs)
+
+
+def cmd_targets(_args) -> int:
+    print(f"{'name':<13} {'paper project':<16} {'bugs':>4}  description")
+    for spec in all_targets():
+        print(f"{spec.name:<13} {spec.paper_project:<16} "
+              f"{spec.seeded_bug_count:>4}  {spec.description}")
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    spec = get_target(args.target)
+    result = run_campaign(args.engine, spec, seed=args.seed,
+                          config=_config(args))
+    print(f"engine={result.engine_name} target={result.target_name}")
+    print(f"executions={result.executions} "
+          f"paths={result.final_paths} edges={result.final_edges}")
+    print(f"unique crashes: {len(result.unique_crashes)}")
+    for report in result.unique_crashes:
+        hours = result.crash_times.get(report.dedup_key, 0.0)
+        print(f"  [{hours:5.1f}h] {report.summary_line()}")
+    if args.verbose and result.unique_crashes:
+        print()
+        for report in result.unique_crashes:
+            print(report.render())
+            print()
+    return 0
+
+
+def cmd_compare(args) -> int:
+    spec = get_target(args.target)
+    panel = run_fig4_panel(spec, repetitions=args.repetitions,
+                           budget_hours=args.hours, base_seed=args.seed)
+    print(render_panel_report(panel))
+    return 0
+
+
+def cmd_crack(args) -> int:
+    spec = get_target(args.target)
+    try:
+        packet = bytes.fromhex(args.hex)
+    except ValueError:
+        print(f"error: {args.hex!r} is not valid hex", file=sys.stderr)
+        return 2
+    pit = spec.make_pit()
+    corpus = PuzzleCorpus()
+    cracker = FileCracker(pit, corpus)
+    matched = False
+    for model in pit:
+        try:
+            tree = model.parse(packet)
+        except ParseError:
+            continue
+        matched = True
+        print(tree.pretty())
+        print()
+    if not matched:
+        print("packet is not legal under any data model of "
+              f"{spec.name}'s pit")
+        return 1
+    new_puzzles = cracker.crack(packet)
+    print(f"cracked into {new_puzzles} puzzles across "
+          f"{corpus.rule_count()} construction rules")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    rows = [run_table1_row(name, repetitions=args.repetitions,
+                           budget_hours=args.hours, base_seed=args.seed)
+            for name in BUGGY_TARGETS]
+    print(render_table1(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="peachstar",
+        description="Peach*: coverage-guided ICS protocol fuzzing "
+                    "(DAC 2020 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("targets", help="list protocol targets")
+
+    fuzz = sub.add_parser("fuzz", help="run one fuzzing campaign")
+    fuzz.add_argument("target", help="target name (see `targets`)")
+    fuzz.add_argument("--engine", default="peach-star",
+                      choices=("peach", "peach-star"))
+    fuzz.add_argument("--verbose", action="store_true",
+                      help="print full crash reports")
+    _add_budget_args(fuzz)
+
+    comp = sub.add_parser("compare", help="Peach vs Peach* on one target")
+    comp.add_argument("target")
+    comp.add_argument("--repetitions", type=int, default=2)
+    _add_budget_args(comp)
+
+    crack = sub.add_parser("crack", help="crack a hex packet into puzzles")
+    crack.add_argument("target")
+    crack.add_argument("hex", help="packet bytes as hex")
+
+    table1 = sub.add_parser("table1", help="reproduce the paper's Table I")
+    table1.add_argument("--repetitions", type=int, default=2)
+    _add_budget_args(table1)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "targets": cmd_targets,
+        "fuzz": cmd_fuzz,
+        "compare": cmd_compare,
+        "crack": cmd_crack,
+        "table1": cmd_table1,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

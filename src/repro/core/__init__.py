@@ -1,0 +1,38 @@
+"""Peach*: coverage-guided packet crack and generation (the paper's core).
+
+Components map 1:1 to the paper's Fig. 3:
+
+* :class:`SeedPool` — valuable-seed identification via edge coverage
+* :class:`FileCracker` + :class:`PuzzleCorpus` — packet crack (Alg. 2)
+* :class:`SemanticGenerator` — semantic-aware generation (Alg. 3)
+* :mod:`repro.core.fixup_engine` — file fixup (§IV-D)
+* :class:`GenerationFuzzer` / :class:`PeachStar` — the two engines
+* :mod:`repro.core.campaign` — the §V-B experimental procedure
+"""
+
+from repro.core.campaign import (
+    CampaignConfig, CampaignResult, average_paths_at, average_series,
+    default_campaign_policy, make_engine, run_campaign, run_repetitions,
+)
+from repro.core.corpus import PuzzleCorpus
+from repro.core.cracker import FileCracker
+from repro.core.engine import (
+    EngineStats, GenerationFuzzer, IterationOutcome, PeachStar,
+)
+from repro.core.fixup_engine import integrity_ok, repair
+from repro.core.seedpool import SeedPool, ValuableSeed
+from repro.core.semantic import SemanticGenerator
+from repro.core.stats import (
+    ComparisonSummary, bugs_found, compare, path_increase_pct,
+    speedup_to_reference, time_to_bugs,
+)
+
+__all__ = [
+    "CampaignConfig", "CampaignResult", "ComparisonSummary", "EngineStats",
+    "FileCracker", "GenerationFuzzer", "IterationOutcome", "PeachStar",
+    "PuzzleCorpus", "SeedPool", "SemanticGenerator", "ValuableSeed",
+    "average_paths_at", "average_series", "bugs_found", "compare",
+    "default_campaign_policy", "integrity_ok", "make_engine",
+    "path_increase_pct", "repair", "run_campaign", "run_repetitions",
+    "speedup_to_reference", "time_to_bugs",
+]

@@ -1,0 +1,170 @@
+"""Campaign driver: run an engine against a target under a time budget.
+
+Reproduces the paper's experimental procedure (§V-B): each fuzzer runs
+against each project for a 24-hour budget, repeated N times, recording
+the number of paths covered over time.  Time is the simulated clock of
+:mod:`repro.runtime.clock`; both engines are measured with the same
+path-coverage framework (a tracing collector on the target), exactly as
+the paper instruments both Peach and Peach* for measurement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import GenerationFuzzer, PeachStar
+from repro.model.mutators import GenerationPolicy
+from repro.runtime.clock import CostModel, SimulatedClock
+from repro.runtime.instrument import TracingCollector
+from repro.runtime.target import Target
+from repro.sanitizer.report import CrashReport
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign run."""
+
+    engine_name: str
+    target_name: str
+    seed: int
+    series: List[Tuple[float, int]]          # (sim hours, paths covered)
+    final_paths: int
+    final_edges: int
+    executions: int
+    unique_crashes: List[CrashReport]
+    crash_times: Dict[Tuple[str, str], float]  # dedup key -> sim hours
+    stats: dict
+
+    def paths_at(self, hours: float) -> int:
+        """Paths covered at simulated time *hours* (step interpolation)."""
+        best = 0
+        for when, paths in self.series:
+            if when > hours:
+                break
+            best = paths
+        return best
+
+    def time_to_paths(self, paths: int) -> Optional[float]:
+        """Simulated hours until *paths* paths were covered, or None."""
+        for when, count in self.series:
+            if count >= paths:
+                return when
+        return None
+
+
+def default_campaign_policy() -> GenerationPolicy:
+    """The generation policy used throughout the evaluation.
+
+    Weaker priors than the unit-test default: valid values mostly have to
+    be *discovered*, which is exactly the regime the paper targets ("the
+    random and pointless generation strategy makes it less likely to
+    produce high-quality inputs", §I).
+    """
+    return GenerationPolicy(default_prob=0.15, legal_value_prob=0.10,
+                            edge_case_prob=0.15)
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one campaign run."""
+
+    budget_hours: float = 24.0
+    max_executions: int = 200_000           # hard safety bound
+    record_every: int = 25                  # sample the series every N execs
+    policy: Optional[GenerationPolicy] = field(
+        default_factory=default_campaign_policy)
+    semantic_batch: int = 16
+    semantic_ratio: float = 0.5
+    pin_prob: float = 0.5
+    crack_enabled: bool = True
+    semantic_enabled: bool = True
+    hang_budget: int = 120_000
+
+
+def make_engine(engine_name: str, target_spec, seed: int,
+                config: Optional[CampaignConfig] = None) -> GenerationFuzzer:
+    """Build a ready-to-run engine ("peach" or "peach-star") for a target.
+
+    Both engines get a tracing collector so path coverage is *measured*
+    identically; only Peach* pays the coverage-feedback overhead on the
+    simulated clock and actually uses the feedback.
+    """
+    config = config if config is not None else CampaignConfig()
+    rng = random.Random(seed)
+    collector = TracingCollector(
+        module_prefixes=("repro/protocols",),
+        hang_budget=config.hang_budget)
+    target = Target(target_spec.make_server, collector)
+    clock = SimulatedClock(target_spec.cost_model)
+    pit = target_spec.make_pit()
+    if engine_name == "peach":
+        return GenerationFuzzer(pit, target, rng, clock,
+                                policy=config.policy)
+    if engine_name == "peach-star":
+        return PeachStar(pit, target, rng, clock, policy=config.policy,
+                         semantic_batch=config.semantic_batch,
+                         semantic_ratio=config.semantic_ratio,
+                         pin_prob=config.pin_prob,
+                         crack_enabled=config.crack_enabled,
+                         semantic_enabled=config.semantic_enabled)
+    raise ValueError(f"unknown engine {engine_name!r}; "
+                     "choices: peach, peach-star")
+
+
+def run_campaign(engine_name: str, target_spec, seed: int = 0,
+                 config: Optional[CampaignConfig] = None) -> CampaignResult:
+    """Run one budgeted campaign and collect its result."""
+    config = config if config is not None else CampaignConfig()
+    engine = make_engine(engine_name, target_spec, seed, config)
+    budget_ms = config.budget_hours * 3_600_000.0
+    series: List[Tuple[float, int]] = [(0.0, 0)]
+    crash_times: Dict[Tuple[str, str], float] = {}
+    while engine.clock.now_ms < budget_ms and \
+            engine.stats.executions < config.max_executions:
+        outcome = engine.iterate()
+        if outcome.new_unique_crash:
+            key = outcome.result.crash.dedup_key
+            crash_times[key] = engine.clock.hours
+        if engine.stats.executions % config.record_every == 0:
+            series.append((engine.clock.hours, engine.path_count))
+    series.append((engine.clock.hours, engine.path_count))
+    return CampaignResult(
+        engine_name=engine_name,
+        target_name=target_spec.name,
+        seed=seed,
+        series=series,
+        final_paths=engine.path_count,
+        final_edges=engine.seed_pool.edge_count,
+        executions=engine.stats.executions,
+        unique_crashes=engine.crashes.unique_reports(),
+        crash_times=crash_times,
+        stats=engine.stats.as_dict(),
+    )
+
+
+def run_repetitions(engine_name: str, target_spec, *, repetitions: int,
+                    base_seed: int = 0,
+                    config: Optional[CampaignConfig] = None
+                    ) -> List[CampaignResult]:
+    """Run N independent repetitions (the paper repeats each 10 times)."""
+    return [run_campaign(engine_name, target_spec,
+                         seed=base_seed + 1000 * rep, config=config)
+            for rep in range(repetitions)]
+
+
+def average_paths_at(results: Sequence[CampaignResult],
+                     hours: float) -> float:
+    """Mean paths covered at simulated time *hours* across repetitions."""
+    if not results:
+        return 0.0
+    return sum(result.paths_at(hours) for result in results) / len(results)
+
+
+def average_series(results: Sequence[CampaignResult],
+                   checkpoints: Sequence[float]
+                   ) -> List[Tuple[float, float]]:
+    """Average paths-over-time curve sampled at *checkpoints* (hours)."""
+    return [(hours, average_paths_at(results, hours))
+            for hours in checkpoints]

@@ -1,0 +1,224 @@
+"""The two fuzzing engines: baseline Peach and Peach*.
+
+:class:`GenerationFuzzer` is paper Alg. 1 — the plain generation-based
+loop: CHOOSE a data model, GENERATE every chunk with the type-aware
+mutators, JOINT, RUNTARGET, record crashes/hangs.  It collects *no*
+feedback during fuzzing (the paper's Peach discards packets that achieve
+new coverage).
+
+:class:`PeachStar` is the paper's Fig. 3 system: the same loop augmented
+with (1) coverage-based valuable-seed identification, (2) the File
+Cracker building the puzzle corpus, and (3) semantic-aware generation
+with File Fixup once the corpus is non-empty.  When the corpus is empty
+it degrades exactly to the baseline strategy, as the paper specifies.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+from repro.core.corpus import PuzzleCorpus
+from repro.core.cracker import FileCracker
+from repro.core.seedpool import SeedPool
+from repro.core.semantic import SemanticGenerator
+from repro.model.datamodel import DataModel, Pit
+from repro.model.generation import choose_model, generate_packet
+from repro.model.instree import InsTree
+from repro.model.mutators import GenerationPolicy
+from repro.runtime.clock import SimulatedClock
+from repro.runtime.target import ExecResult, Target
+from repro.sanitizer.report import CrashDatabase
+
+
+@dataclass
+class IterationOutcome:
+    """What one fuzzing iteration produced (consumed by the campaign)."""
+
+    packet: bytes
+    model_name: str
+    result: ExecResult
+    valuable: bool = False
+    new_unique_crash: bool = False
+    semantic: bool = False  # packet came from donor splicing
+
+
+@dataclass
+class EngineStats:
+    executions: int = 0
+    valuable_seeds: int = 0
+    semantic_executions: int = 0
+    crashes_total: int = 0
+    hangs: int = 0
+    puzzles: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "executions": self.executions,
+            "valuable_seeds": self.valuable_seeds,
+            "semantic_executions": self.semantic_executions,
+            "crashes_total": self.crashes_total,
+            "hangs": self.hangs,
+            "puzzles": self.puzzles,
+        }
+
+
+class GenerationFuzzer:
+    """Baseline Peach: Alg. 1's continuous generation loop.
+
+    Parameters
+    ----------
+    pit:
+        The format specification.
+    target:
+        Target harness (with or without an instrumentation collector —
+        the baseline ignores coverage either way; campaigns attach one so
+        the *measurement* framework sees both engines identically, as the
+        paper does).
+    rng:
+        Seeded RNG driving every random decision.
+    clock:
+        Simulated campaign clock (may be shared with the campaign).
+    policy:
+        Mutator strategy weights.
+    """
+
+    engine_name = "peach"
+    uses_feedback = False
+
+    def __init__(self, pit: Pit, target: Target, rng: random.Random,
+                 clock: Optional[SimulatedClock] = None,
+                 policy: Optional[GenerationPolicy] = None):
+        self.pit = pit
+        self.target = target
+        self.rng = rng
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.policy = policy
+        self.crashes = CrashDatabase()
+        self.stats = EngineStats()
+        self.seed_pool = SeedPool()  # used for *measurement* only
+
+    # -- packet production ---------------------------------------------------
+
+    def _produce(self) -> Tuple[InsTree, bytes, DataModel, bool]:
+        model = choose_model(self.pit, self.rng)
+        tree, packet = generate_packet(model, self.rng, self.policy)
+        return tree, packet, model, False
+
+    # -- one iteration ---------------------------------------------------------
+
+    def iterate(self) -> IterationOutcome:
+        """Run one generate→execute→record iteration."""
+        tree, packet, model, semantic = self._produce()
+        result = self.target.run(packet, model.name)
+        self.clock.charge_execution(instrumented=self.uses_feedback)
+        self.stats.executions += 1
+        if semantic:
+            self.stats.semantic_executions += 1
+        outcome = IterationOutcome(packet=packet, model_name=model.name,
+                                   result=result, semantic=semantic)
+        if result.crash is not None:
+            self.stats.crashes_total += 1
+            outcome.new_unique_crash = self.crashes.add(result.crash)
+        if result.hang:
+            self.stats.hangs += 1
+        # Crashing/hanging packets go to the crash set (C7), not the seed
+        # queue: their coverage is dominated by the fault path and their
+        # chunks make poisonous donors — same policy as AFL's queue.
+        if result.coverage is not None and result.crash is None \
+                and not result.hang:
+            seed = self.seed_pool.consider(
+                packet, model.name, tree, result.coverage,
+                self.stats.executions, self.clock.now_ms)
+            if seed is not None:
+                outcome.valuable = True
+                self.stats.valuable_seeds += 1
+                self._on_valuable_seed(seed)
+        return outcome
+
+    def _on_valuable_seed(self, seed) -> None:
+        """Hook for feedback-driven engines; baseline does nothing."""
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def path_count(self) -> int:
+        return self.seed_pool.path_count
+
+
+class PeachStar(GenerationFuzzer):
+    """Peach*: coverage-guided packet crack and generation (Fig. 3).
+
+    Additional parameters
+    ---------------------
+    semantic_batch:
+        Cap on seeds produced per semantic-generation invocation (the
+        bound on Alg. 3's cartesian product).
+    crack_enabled / semantic_enabled:
+        Ablation switches: cracking without semantic generation measures
+        pure corpus-building cost; disabling both turns Peach* into an
+        instrumented Peach.
+    """
+
+    engine_name = "peach-star"
+    uses_feedback = True
+
+    def __init__(self, pit: Pit, target: Target, rng: random.Random,
+                 clock: Optional[SimulatedClock] = None,
+                 policy: Optional[GenerationPolicy] = None,
+                 semantic_batch: int = 16,
+                 max_donors_per_position: int = 6,
+                 crack_enabled: bool = True,
+                 semantic_enabled: bool = True,
+                 semantic_ratio: float = 0.5,
+                 pin_prob: float = 0.5):
+        super().__init__(pit, target, rng, clock, policy)
+        self.corpus = PuzzleCorpus(rng=random.Random(rng.getrandbits(32)))
+        self.cracker = FileCracker(pit, self.corpus)
+        self.generator = SemanticGenerator(
+            self.corpus, rng, policy, batch_limit=semantic_batch,
+            max_donors_per_position=max_donors_per_position,
+            pin_prob=pin_prob)
+        self.crack_enabled = crack_enabled
+        self.semantic_enabled = semantic_enabled
+        #: fraction of iterations drawn from the pending semantic queue
+        #: (the remainder keeps exploring with the inherent strategy)
+        self.semantic_ratio = semantic_ratio
+        self._pending: Deque[Tuple[InsTree, bytes, str]] = deque()
+
+    # -- packet production ---------------------------------------------------
+
+    def _produce(self) -> Tuple[InsTree, bytes, DataModel, bool]:
+        if self._pending and self.rng.random() < self.semantic_ratio:
+            tree, packet, model_name = self._pending.popleft()
+            model = self.pit.model(model_name)
+            return tree, packet, model, True
+        model = choose_model(self.pit, self.rng)
+        if self.semantic_enabled and not self.corpus.is_empty and \
+                self.rng.random() < self.semantic_ratio:
+            batch = self.generator.construct(model)
+            if batch:
+                self.clock.charge_semantic_generation(len(batch))
+                self.clock.charge_fixup()
+                for tree, packet in batch[1:]:
+                    self._pending.append((tree, packet, model.name))
+                tree, packet = batch[0]
+                return tree, packet, model, True
+        tree, packet = generate_packet(model, self.rng, self.policy)
+        return tree, packet, model, False
+
+    # -- feedback --------------------------------------------------------------
+
+    def _on_valuable_seed(self, seed) -> None:
+        if not self.crack_enabled:
+            return
+        self.clock.charge_crack()
+        new_puzzles = self.cracker.crack(seed.packet, seed.tree)
+        self.stats.puzzles = self.corpus.puzzle_count()
+        if new_puzzles and self._pending and \
+                len(self._pending) > 4 * self.generator.batch_limit:
+            # keep the queue bounded: drop the stalest spliced packets
+            while len(self._pending) > 2 * self.generator.batch_limit:
+                self._pending.popleft()

@@ -1,0 +1,71 @@
+"""File Fixup: re-establish packet integrity after splicing (paper §IV-D).
+
+Protocol packets carry integrity constraints — size-of, count-of and
+checksums — that donor splicing can break.  Peach* reuses Peach's
+Relation/Fixup machinery for repair; in this implementation that
+machinery lives in ``DataModel.build``, which the semantic generator
+already routes through.  This module exposes the same repair for *raw*
+byte strings (e.g. packets assembled outside the model layer, or an
+ablation that splices raw puzzles), plus a checker used by tests and the
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.datamodel import DataModel, ValueProvider
+from repro.model.fields import Choice, Field, ParseError, Repeat
+from repro.model.instree import InsTree
+
+
+class _TreeEchoProvider(ValueProvider):
+    """Rebuilds a model from a (possibly inconsistent) parsed tree,
+    letting build's relation/fixup passes overwrite the broken carriers."""
+
+    def __init__(self, tree: InsTree):
+        self._values = tree.leaf_values()
+        self._tree = tree
+
+    def leaf_value(self, field: Field, path: str):
+        return self._values.get(path)
+
+    def choose_option(self, choice: Choice, path: str) -> int:
+        node = self._tree.find(choice.name)
+        if node is not None and node.children:
+            chosen = node.children[0].field
+            for index, option in enumerate(choice.children()):
+                if option is chosen:
+                    return index
+        return 0
+
+    def repeat_count(self, repeat: Repeat, path: str) -> int:
+        node = self._tree.find(repeat.name)
+        if node is not None:
+            return len(node.children)
+        return max(repeat.min_count, 1)
+
+
+def repair(model: DataModel, packet: bytes) -> Optional[bytes]:
+    """Repair *packet*'s relations and fixups under *model*.
+
+    The packet is parsed leniently (fixups unverified), re-built through
+    the relation/fixup pipeline, and re-serialized.  Returns ``None``
+    when the packet does not even structurally match the model — nothing
+    to repair against.
+    """
+    try:
+        tree = model.parse(packet)
+    except ParseError:
+        return None
+    rebuilt = model.build(_TreeEchoProvider(tree))
+    return model.to_wire(rebuilt)
+
+
+def integrity_ok(model: DataModel, packet: bytes) -> bool:
+    """True when *packet* parses under *model* with all fixups verifying."""
+    try:
+        model.parse(packet, verify_fixups=True)
+    except ParseError:
+        return False
+    return True

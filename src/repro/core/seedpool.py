@@ -1,0 +1,69 @@
+"""Valuable-seed pool: AFL-queue-style path accounting (paper §IV-B).
+
+A seed is *valuable* when its execution "reaches a new program execution
+state that has not appeared before" — i.e. its bucketed coverage map
+contains bits the global virgin map has not seen.  The pool retains those
+seeds (with their InsTrees, so the cracker need not re-parse) and its
+size is the "paths covered" metric of the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.model.instree import InsTree
+from repro.runtime.coverage import CoverageMap, GlobalCoverage
+
+
+@dataclass
+class ValuableSeed:
+    """One retained seed: the packet, its origin model, and when it landed."""
+
+    packet: bytes
+    model_name: str
+    tree: Optional[InsTree]
+    execution_index: int
+    sim_time_ms: float
+    edges_touched: int
+
+
+class SeedPool:
+    """Coverage feedback + retained valuable seeds."""
+
+    def __init__(self):
+        self.coverage = GlobalCoverage()
+        self.seeds: List[ValuableSeed] = []
+
+    def consider(self, packet: bytes, model_name: str,
+                 tree: Optional[InsTree], coverage_map: CoverageMap,
+                 execution_index: int, sim_time_ms: float
+                 ) -> Optional[ValuableSeed]:
+        """Fold an execution's coverage in; return the seed if valuable."""
+        if not self.coverage.merge(coverage_map):
+            return None
+        seed = ValuableSeed(
+            packet=packet,
+            model_name=model_name,
+            tree=tree,
+            execution_index=execution_index,
+            sim_time_ms=sim_time_ms,
+            edges_touched=coverage_map.edge_count(),
+        )
+        self.seeds.append(seed)
+        return seed
+
+    @property
+    def path_count(self) -> int:
+        """Paths covered = number of valuable seeds retained (AFL queue)."""
+        return len(self.seeds)
+
+    @property
+    def edge_count(self) -> int:
+        return self.coverage.edge_coverage()
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    def __iter__(self):
+        return iter(self.seeds)

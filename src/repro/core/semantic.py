@@ -1,0 +1,178 @@
+"""Semantic-aware generation (paper Alg. 3).
+
+Given a data model's linear form and the puzzle corpus, construct new
+seeds chunk by chunk: for each position whose construction rule has
+donors in the corpus, splice donor puzzles; otherwise fall back to the
+inherent rule (the Peach mutators).  The paper enumerates the full
+``p × q × ...`` cartesian product of donor choices; a practical fuzzer
+must bound that, so the recursion is capped at ``batch_limit`` seeds per
+invocation with rng-shuffled donor order (the enumeration *prefix* under
+a random order is an unbiased sample of the product).
+
+Integrity is restored afterwards by the File Fixup pass, which in this
+implementation is DataModel.build's relation/fixup resolution — spliced
+donor values for relation or fixup carriers are never used.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.corpus import PuzzleCorpus
+from repro.model.datamodel import DataModel, ValueProvider
+from repro.model.fields import Blob, Choice, Field, Number, Repeat, Str
+from repro.model.instree import InsTree
+from repro.model.mutators import GenerationPolicy, MutatorProvider
+
+
+class _SpliceProvider(ValueProvider):
+    """ValueProvider that pins chosen leaves to donor values.
+
+    Unpinned leaves (and Choice/Repeat shape decisions) delegate to the
+    inherent mutator provider — paper Alg. 3 lines 14-15.
+    """
+
+    def __init__(self, assignments: Dict[str, object],
+                 fallback: MutatorProvider):
+        self.assignments = assignments
+        self.fallback = fallback
+
+    def leaf_value(self, field: Field, path: str):
+        if path in self.assignments:
+            return self.assignments[path]
+        return self.fallback.leaf_value(field, path)
+
+    def choose_option(self, choice: Choice, path: str) -> int:
+        return self.fallback.choose_option(choice, path)
+
+    def repeat_count(self, repeat: Repeat, path: str) -> int:
+        return self.fallback.repeat_count(repeat, path)
+
+
+def _decode_donor(field: Field, donor: bytes):
+    """Convert donor bytes back into the leaf's value domain."""
+    try:
+        return field.decode(donor)
+    except Exception:
+        if isinstance(field, Blob):
+            return donor
+        if isinstance(field, Str):
+            return donor.decode("latin-1", errors="replace")
+        if isinstance(field, Number):
+            if len(donor) >= field.width:
+                return int.from_bytes(donor[:field.width], field.endian)
+            return int.from_bytes(donor, field.endian)
+        return None
+
+
+class SemanticGenerator:
+    """Implements CONSTRUCT of paper Alg. 3 with a batch cap."""
+
+    def __init__(self, corpus: PuzzleCorpus, rng: random.Random,
+                 policy: Optional[GenerationPolicy] = None,
+                 batch_limit: int = 16,
+                 max_donors_per_position: int = 6,
+                 pin_prob: float = 0.5):
+        self.corpus = corpus
+        self.rng = rng
+        self.policy = policy
+        self.batch_limit = batch_limit
+        self.max_donors_per_position = max_donors_per_position
+        #: probability that a donor-bearing position is actually pinned in
+        #: a given batch.  Literal Alg. 3 pins every such position
+        #: (pin_prob=1.0); pinning a random subset keeps mutator entropy
+        #: at the remaining positions so splicing explores new
+        #: conjunctions instead of replaying old ones.  The ablation
+        #: benchmark measures both settings.
+        self.pin_prob = pin_prob
+        self.seeds_generated = 0
+
+    # ------------------------------------------------------------------
+
+    def _donor_positions(self, model: DataModel
+                         ) -> List[Tuple[str, Field, Tuple[bytes, ...]]]:
+        """Linear-model positions that have donors (and may be spliced).
+
+        Token, relation and fixup carriers are excluded: tokens are
+        constants and the other two are recomputed by File Fixup.
+        """
+        positions = []
+        for field in model.linear():
+            if field.token or field.relation is not None \
+                    or field.fixup is not None:
+                continue
+            if not self.corpus.has_donors(field):
+                continue
+            if self.pin_prob < 1.0 and self.rng.random() >= self.pin_prob:
+                continue  # leave this position to the inherent rule
+            chosen = self.corpus.sample_donors(
+                field, self.max_donors_per_position)
+            if not chosen:
+                continue
+            positions.append((self._leaf_path(model, field), field,
+                              tuple(chosen)))
+        return positions
+
+    @staticmethod
+    def _leaf_path(model: DataModel, target: Field) -> str:
+        """Dotted path of a linear-model leaf within the default shape."""
+        path = _find_path(model.root, target, "")
+        if path is None:  # pragma: no cover - linear() guarantees presence
+            raise ValueError(f"{target.name} not in {model.name}")
+        return path
+
+    # ------------------------------------------------------------------
+
+    def construct(self, model: DataModel) -> List[Tuple[InsTree, bytes]]:
+        """Generate a batch of spliced seeds for *model*.
+
+        Returns ``[]`` when no position has donors (the caller then uses
+        the inherent strategy unchanged).
+        """
+        positions = self._donor_positions(model)
+        if not positions:
+            return []
+        batch: List[Tuple[InsTree, bytes]] = []
+        assignments: Dict[str, object] = {}
+
+        def recurse(index: int) -> bool:
+            """DFS over donor choices; False aborts (batch full)."""
+            if len(batch) >= self.batch_limit:
+                return False
+            if index == len(positions):
+                fallback = MutatorProvider(self.rng, self.policy)
+                provider = _SpliceProvider(dict(assignments), fallback)
+                tree = model.build(provider)
+                batch.append((tree, model.to_wire(tree)))
+                return True
+            path, field, donors = positions[index]
+            for donor in donors:
+                value = _decode_donor(field, donor)
+                if value is None:
+                    continue
+                assignments[path] = value
+                if not recurse(index + 1):
+                    return False
+            assignments.pop(path, None)
+            return True
+
+        recurse(0)
+        self.seeds_generated += len(batch)
+        return batch
+
+
+def _find_path(field: Field, target: Field, prefix: str) -> Optional[str]:
+    """Locate *target* in the default-shaped tree, mirroring build paths."""
+    path = f"{prefix}.{field.name}" if prefix else field.name
+    if field is target:
+        return path
+    if isinstance(field, Choice):
+        return _find_path(field.children()[0], target, path)
+    if isinstance(field, Repeat):
+        return _find_path(field.element, target, f"{path}[0]")
+    for child in field.children():
+        found = _find_path(child, target, path)
+        if found is not None:
+            return found
+    return None

@@ -1,0 +1,40 @@
+"""Peach-style data-model substrate: fields, relations, fixups, pits.
+
+This package is the generation-based fuzzing substrate the paper builds
+Peach* on: rule trees (paper Fig. 1), type-aware mutators (paper §II),
+size/count relations and checksum fixups, packet build/parse, and an XML
+pit loader.
+"""
+
+from repro.model.datamodel import (
+    DEFAULT_PROVIDER, DataModel, Pit, Transformer, ValueProvider,
+)
+from repro.model.fields import (
+    Blob, Block, Choice, Field, ModelError, Number, ParseError, Repeat,
+    RuleSignature, Str,
+)
+from repro.model.fixups import (
+    Crc16ModbusFixup, Crc32Fixup, Dnp3CrcFixup, Fixup, Lrc8Fixup, Sum8Fixup,
+    Xor8Fixup, attach_fixup, crc16_modbus, crc_dnp3, lrc8, sum8, xor8,
+)
+from repro.model.generation import analyze, choose_model, generate_packet
+from repro.model.instree import InsNode, InsTree
+from repro.model.mutators import (
+    GenerationPolicy, MutatorProvider, number_edge_cases,
+)
+from repro.model.pit import PitError, load_pit_file, load_pit_string
+from repro.model.relations import (
+    CountOf, Relation, SizeOf, attach_relation, count_of, size_of,
+)
+
+__all__ = [
+    "Blob", "Block", "Choice", "CountOf", "Crc16ModbusFixup", "Crc32Fixup",
+    "DataModel", "DEFAULT_PROVIDER", "Dnp3CrcFixup", "Field", "Fixup",
+    "GenerationPolicy", "InsNode", "InsTree", "Lrc8Fixup", "ModelError",
+    "MutatorProvider", "Number", "ParseError", "Pit", "PitError", "Relation",
+    "Repeat", "RuleSignature", "SizeOf", "Str", "Sum8Fixup", "Transformer",
+    "ValueProvider", "Xor8Fixup", "analyze", "attach_fixup",
+    "attach_relation", "choose_model", "count_of", "crc16_modbus",
+    "crc_dnp3", "generate_packet", "load_pit_file", "load_pit_string",
+    "lrc8", "number_edge_cases", "size_of", "sum8", "xor8",
+]

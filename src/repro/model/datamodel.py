@@ -1,0 +1,455 @@
+"""DataModel: build packets from construction rules and parse packets back.
+
+A :class:`DataModel` wraps one rule tree (paper Fig. 1) and provides the
+two halves the fuzzer needs:
+
+* :meth:`DataModel.build` — instantiate the tree into an
+  :class:`~repro.model.instree.InsTree` (GENERATE + JOINT of paper
+  Alg. 1), resolving size/count relations and checksum fixups so the
+  produced packet is integrity-correct.  Values come from a pluggable
+  :class:`ValueProvider`, which is how both the Peach mutators and the
+  semantic-aware donor splicing hook in.
+* :meth:`DataModel.parse` — the ``PARSE`` of paper Alg. 2: match wire
+  bytes against the tree, producing the Instantiation Tree used by the
+  File Cracker, or raise :class:`~repro.model.fields.ParseError` when the
+  seed is not legal under this model.
+
+A :class:`Pit` is a named set of data models — "one format specification
+usually contains several data models" (paper §II) — typically one per
+function code / packet type of a protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.model.fields import (
+    Blob, Block, Choice, Field, ModelError, Number, ParseError, Repeat, Str,
+)
+from repro.model.instree import InsNode, InsTree
+
+
+class ValueProvider:
+    """Supplies concrete values during :meth:`DataModel.build`.
+
+    The default implementation instantiates every rule with its default
+    value — models are written so that this yields a *valid* packet.
+    Subclasses (mutation-based generation, donor splicing) override the
+    three hooks.
+    """
+
+    def leaf_value(self, field: Field, path: str):
+        """Return the value for a leaf, or ``None`` to use the default."""
+        return None
+
+    def choose_option(self, choice: Choice, path: str) -> int:
+        """Return the index of the Choice option to instantiate."""
+        return 0
+
+    def repeat_count(self, repeat: Repeat, path: str) -> int:
+        """Return how many elements a Repeat should instantiate."""
+        return max(repeat.min_count, 1)
+
+
+DEFAULT_PROVIDER = ValueProvider()
+
+
+class Transformer:
+    """Wire-level transform applied outside the rule tree.
+
+    Mirrors Peach ``<Transformer>``: some protocols post-process the whole
+    assembled frame (DNP3 interleaves a CRC every 16 data octets).  The
+    logical InsTree stays transform-free; :meth:`DataModel.to_wire` and
+    :meth:`DataModel.from_wire` apply/strip it.
+    """
+
+    def encode(self, data: bytes) -> bytes:
+        return data
+
+    def decode(self, data: bytes) -> bytes:
+        return data
+
+
+class _ParseState:
+    """Mutable cursor shared across the recursive parse."""
+
+    __slots__ = ("data", "extents", "counts")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        # target field name -> byte extent announced by a SizeOf carrier
+        self.extents: Dict[str, int] = {}
+        # target field name -> element count announced by a CountOf carrier
+        self.counts: Dict[str, int] = {}
+
+
+class DataModel:
+    """One packet type's format: a named rule tree plus wire transformer.
+
+    Parameters
+    ----------
+    name:
+        Model name (e.g. ``"modbus.read_holding_registers"``).
+    root:
+        Root field, normally a :class:`Block`.
+    transformer:
+        Optional wire transformer (see :class:`Transformer`).
+    weight:
+        Relative probability of being CHOOSEn by the fuzzing loop.
+    """
+
+    def __init__(self, name: str, root: Field, *,
+                 transformer: Optional[Transformer] = None,
+                 weight: float = 1.0):
+        if not name:
+            raise ModelError("data model needs a name")
+        self.name = name
+        self.root = root
+        self.transformer = transformer
+        self.weight = weight
+        self._linear_cache: Optional[Tuple[Field, ...]] = None
+
+    # ------------------------------------------------------------------
+    # linear model (paper's M_L)
+    # ------------------------------------------------------------------
+
+    def linear(self) -> Tuple[Field, ...]:
+        """Leaf construction rules in declaration order (the linear model).
+
+        For :class:`Choice`/:class:`Repeat` sub-trees the default shape is
+        used (first option, one element) — matching the paper's Fig. 2(a)
+        linearisation of a packet type.
+        """
+        if self._linear_cache is None:
+            leaves: List[Field] = []
+            self._linearize(self.root, leaves)
+            self._linear_cache = tuple(leaves)
+        return self._linear_cache
+
+    def _linearize(self, field: Field, out: List[Field]) -> None:
+        if field.is_leaf:
+            out.append(field)
+        elif isinstance(field, Choice):
+            self._linearize(field.children()[0], out)
+        elif isinstance(field, Repeat):
+            self._linearize(field.element, out)
+        else:
+            for child in field.children():
+                self._linearize(child, out)
+
+    # ------------------------------------------------------------------
+    # build (GENERATE + JOINT + relations + fixups)
+    # ------------------------------------------------------------------
+
+    def build(self, provider: ValueProvider = DEFAULT_PROVIDER) -> InsTree:
+        """Instantiate the tree into an InsTree with correct integrity.
+
+        Pass order: (1) instantiate every leaf, (2) assemble raw bytes,
+        (3) resolve size/count relations, (4) recompute fixups — the same
+        repair pipeline the File Fixup module reuses for spliced packets.
+        """
+        root_node = self._build_node(self.root, provider, "")
+        self._assemble(root_node, 0)
+        self._resolve_relations(root_node)
+        self._assemble(root_node, 0)
+        self._resolve_fixups(root_node)
+        self._assemble(root_node, 0)
+        return InsTree(self.name, root_node)
+
+    def build_default(self) -> InsTree:
+        """Instantiate every rule with its default value (a valid packet)."""
+        return self.build(DEFAULT_PROVIDER)
+
+    def _build_node(self, field: Field, provider: ValueProvider,
+                    prefix: str) -> InsNode:
+        path = f"{prefix}.{field.name}" if prefix else field.name
+        if field.is_leaf:
+            value = provider.leaf_value(field, path)
+            if value is None:
+                value = field.default_value()
+            return InsNode(field, value=value, raw=field.encode(value))
+        if isinstance(field, Choice):
+            index = provider.choose_option(field, path)
+            options = field.children()
+            index = max(0, min(index, len(options) - 1))
+            child = self._build_node(options[index], provider, path)
+            return InsNode(field, children=[child])
+        if isinstance(field, Repeat):
+            count = provider.repeat_count(field, path)
+            count = max(field.min_count, min(count, field.max_count))
+            children = [
+                self._build_node(field.element, provider, f"{path}[{i}]")
+                for i in range(count)
+            ]
+            return InsNode(field, children=children)
+        children = [self._build_node(child, provider, path)
+                    for child in field.children()]
+        return InsNode(field, children=children)
+
+    def _assemble(self, node: InsNode, offset: int) -> int:
+        """Recompute raw/offset bottom-up; return bytes consumed."""
+        node.offset = offset
+        if node.is_leaf and not node.children:
+            if isinstance(node.field, (Block, Choice, Repeat)):
+                node.raw = b""  # empty internal node (Repeat count 0)
+                return 0
+            node.raw = node.field.encode(node.value)
+            return len(node.raw)
+        pos = offset
+        parts = []
+        for child in node.children:
+            pos += self._assemble(child, pos)
+            parts.append(child.raw)
+        node.raw = b"".join(parts)
+        return len(node.raw)
+
+    def _resolve_relations(self, root: InsNode) -> None:
+        for node in root.iter_nodes():
+            relation = node.field.relation
+            if relation is None:
+                continue
+            target = root.find(relation.of)
+            if target is None:
+                raise ModelError(
+                    f"{self.name}: relation target {relation.of!r} not found")
+            count = len(target.children) if isinstance(target.field, Repeat) \
+                else None
+            node.value = relation.compute(target.raw, count)
+            node.raw = node.field.encode(node.value)
+
+    def _resolve_fixups(self, root: InsNode) -> None:
+        carriers = [n for n in root.iter_nodes() if n.field.fixup is not None]
+        # Document order: a later fixup covering an earlier carrier sees
+        # the already-patched bytes.
+        carriers.sort(key=lambda n: n.offset)
+        for node in carriers:
+            fixup = node.field.fixup
+            covered = []
+            for name in fixup.over:
+                target = root.find(name)
+                if target is None:
+                    raise ModelError(
+                        f"{self.name}: fixup target {name!r} not found")
+                covered.append(target.raw)
+            checksum = fixup.compute(b"".join(covered))
+            if isinstance(node.field, Number):
+                node.value = checksum
+                node.raw = node.field.encode(checksum)
+            else:
+                width = node.field.fixed_width() or 4
+                node.value = checksum.to_bytes(width, "big")
+                node.raw = node.value
+            self._patch_ancestors(root, node)
+
+    def _patch_ancestors(self, root: InsNode, changed: InsNode) -> None:
+        """Splice *changed*'s new raw into every ancestor's raw."""
+        self._patch_walk(root, changed)
+
+    def _patch_walk(self, node: InsNode, changed: InsNode) -> bool:
+        if node is changed:
+            return True
+        found = False
+        for child in node.children:
+            if self._patch_walk(child, changed):
+                found = True
+        if found:
+            node.raw = b"".join(child.raw for child in node.children)
+        return found
+
+    # ------------------------------------------------------------------
+    # wire codec
+    # ------------------------------------------------------------------
+
+    def to_wire(self, tree: InsTree) -> bytes:
+        """Serialize an InsTree to wire bytes (applying the transformer)."""
+        data = tree.raw
+        if self.transformer is not None:
+            data = self.transformer.encode(data)
+        return data
+
+    def build_bytes(self, provider: ValueProvider = DEFAULT_PROVIDER) -> bytes:
+        """Convenience: build and serialize in one step."""
+        return self.to_wire(self.build(provider))
+
+    # ------------------------------------------------------------------
+    # parse (the PARSE of paper Alg. 2)
+    # ------------------------------------------------------------------
+
+    def parse(self, data: bytes, *, verify_fixups: bool = False) -> InsTree:
+        """Match *data* against this model, returning its InsTree.
+
+        Raises :class:`ParseError` when the bytes are not legal under this
+        model (wrong token, constraint violation, length mismatch or
+        trailing garbage) — the ``LEGAL`` check of paper Alg. 2.
+        """
+        if self.transformer is not None:
+            data = self.transformer.decode(data)
+        state = _ParseState(data)
+        node, pos = self._parse_node(self.root, state, 0, len(data))
+        if pos != len(data):
+            raise ParseError(
+                f"{self.name}: {len(data) - pos} trailing bytes")
+        self._assemble(node, 0)
+        if verify_fixups:
+            self._verify_fixups(node)
+        return InsTree(self.name, node)
+
+    def matches(self, data: bytes) -> bool:
+        """True when *data* parses cleanly under this model."""
+        try:
+            self.parse(data)
+        except ParseError:
+            return False
+        return True
+
+    def _parse_node(self, field: Field, state: _ParseState, pos: int,
+                    end: int) -> Tuple[InsNode, int]:
+        # A SizeOf carrier earlier in the packet may bound this field.
+        extent = state.extents.pop(field.name, None)
+        if extent is not None:
+            if extent < 0 or pos + extent > end:
+                raise ParseError(
+                    f"{field.name}: announced size {extent} exceeds data")
+            end = pos + extent
+
+        if field.is_leaf:
+            node, pos = self._parse_leaf(field, state, pos, end)
+        elif isinstance(field, Choice):
+            node, pos = self._parse_choice(field, state, pos, end)
+        elif isinstance(field, Repeat):
+            node, pos = self._parse_repeat(field, state, pos, end)
+        else:
+            node, pos = self._parse_block(field, state, pos, end)
+
+        if extent is not None and pos != end:
+            raise ParseError(
+                f"{field.name}: announced size {extent} but consumed "
+                f"{pos - (end - extent)}")
+        return node, pos
+
+    def _parse_leaf(self, field: Field, state: _ParseState, pos: int,
+                    end: int) -> Tuple[InsNode, int]:
+        width = field.fixed_width()
+        if width is None:
+            width = end - pos  # variable-length: greedy within extent
+            if isinstance(field, Blob) and width > field.max_length:
+                raise ParseError(
+                    f"{field.name}: {width} bytes exceeds max_length")
+        if pos + width > end:
+            raise ParseError(f"{field.name}: truncated")
+        raw = state.data[pos:pos + width]
+        value = field.decode(raw)
+        if field.token and value != field.default_value():
+            raise ParseError(
+                f"{field.name}: token mismatch ({value!r} != "
+                f"{field.default_value()!r})")
+        if not field.validate(value):
+            raise ParseError(f"{field.name}: constraint violation ({value!r})")
+        self._register_relation(field, value, state)
+        return InsNode(field, value=value, raw=raw), pos + width
+
+    def _register_relation(self, field: Field, value, state: _ParseState) -> None:
+        relation = field.relation
+        if relation is None or not isinstance(value, int):
+            return
+        if relation.type_name == "size":
+            state.extents[relation.of] = relation.target_extent(value)
+        elif relation.type_name == "count":
+            state.counts[relation.of] = relation.target_extent(value)
+
+    def _parse_block(self, field: Block, state: _ParseState, pos: int,
+                     end: int) -> Tuple[InsNode, int]:
+        children = []
+        for child in field.children():
+            node, pos = self._parse_node(child, state, pos, end)
+            children.append(node)
+        return InsNode(field, children=children), pos
+
+    def _parse_choice(self, field: Choice, state: _ParseState, pos: int,
+                      end: int) -> Tuple[InsNode, int]:
+        errors = []
+        for option in field.children():
+            saved_extents = dict(state.extents)
+            saved_counts = dict(state.counts)
+            try:
+                node, newpos = self._parse_node(option, state, pos, end)
+                return InsNode(field, children=[node]), newpos
+            except ParseError as exc:
+                state.extents = saved_extents
+                state.counts = saved_counts
+                errors.append(str(exc))
+        raise ParseError(f"{field.name}: no option matched ({'; '.join(errors)})")
+
+    def _parse_repeat(self, field: Repeat, state: _ParseState, pos: int,
+                      end: int) -> Tuple[InsNode, int]:
+        count = state.counts.pop(field.name, None)
+        children = []
+        if count is not None:
+            if count < field.min_count or count > field.max_count:
+                raise ParseError(
+                    f"{field.name}: announced count {count} out of range")
+            for _ in range(count):
+                node, pos = self._parse_node(field.element, state, pos, end)
+                children.append(node)
+        else:
+            while pos < end and len(children) < field.max_count:
+                node, pos = self._parse_node(field.element, state, pos, end)
+                children.append(node)
+            if len(children) < field.min_count:
+                raise ParseError(f"{field.name}: fewer than "
+                                 f"{field.min_count} elements")
+        return InsNode(field, children=children), pos
+
+    def _verify_fixups(self, root: InsNode) -> None:
+        for node in root.iter_nodes():
+            fixup = node.field.fixup
+            if fixup is None:
+                continue
+            covered = b"".join(
+                (root.find(name).raw if root.find(name) is not None else b"")
+                for name in fixup.over)
+            expected = fixup.compute(covered)
+            actual = node.value if isinstance(node.value, int) else \
+                int.from_bytes(node.raw, "big")
+            if actual != expected:
+                raise ParseError(
+                    f"{node.name}: bad {fixup.algorithm} "
+                    f"(got {actual:#x}, want {expected:#x})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DataModel {self.name!r}>"
+
+
+class Pit:
+    """A format specification: a named collection of data models.
+
+    This is the analog of a Peach Pit file; ``EXTRACTDATAMODEL`` of paper
+    Alg. 1/2 is :meth:`models`.
+    """
+
+    def __init__(self, name: str, models: Sequence[DataModel]):
+        if not models:
+            raise ModelError(f"pit {name!r} has no data models")
+        names = [m.name for m in models]
+        if len(set(names)) != len(names):
+            raise ModelError(f"pit {name!r} has duplicate model names")
+        self.name = name
+        self._models = tuple(models)
+
+    def models(self) -> Tuple[DataModel, ...]:
+        return self._models
+
+    def model(self, name: str) -> DataModel:
+        for candidate in self._models:
+            if candidate.name == name:
+                return candidate
+        raise ModelError(f"pit {self.name!r} has no model {name!r}")
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self):
+        return iter(self._models)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Pit {self.name!r} ({len(self._models)} models)>"

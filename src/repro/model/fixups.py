@@ -1,0 +1,136 @@
+"""Fixups: checksum/CRC fields recomputed after packet assembly.
+
+A fixup attaches to a leaf field and overwrites its value with a checksum
+computed over other fields' built bytes — Peach's ``<Fixup>`` (the paper's
+Fig. 1 uses ``Crc32Fixup``).  The File Fixup module (paper §IV-D) reuses
+exactly this mechanism to repair packets assembled from donor puzzles.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Sequence
+
+from repro.model.fields import Blob, Field, ModelError, Number
+
+
+def crc16_modbus(data: bytes) -> int:
+    """CRC-16/MODBUS (poly 0x8005 reflected = 0xA001, init 0xFFFF)."""
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0xA001
+            else:
+                crc >>= 1
+    return crc
+
+
+def crc_dnp3(data: bytes) -> int:
+    """CRC-16/DNP (poly 0x3D65 reflected = 0xA6BC, init 0, complemented)."""
+    crc = 0
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0xA6BC
+            else:
+                crc >>= 1
+    return (~crc) & 0xFFFF
+
+
+def sum8(data: bytes) -> int:
+    """8-bit additive checksum (used by simple serial ICS framings)."""
+    return sum(data) & 0xFF
+
+
+def xor8(data: bytes) -> int:
+    """8-bit XOR (longitudinal redundancy check variant)."""
+    acc = 0
+    for byte in data:
+        acc ^= byte
+    return acc
+
+
+def lrc8(data: bytes) -> int:
+    """Modbus-ASCII LRC: two's complement of the byte sum."""
+    return (-sum(data)) & 0xFF
+
+
+class Fixup:
+    """Base class: recompute the carrier field from other fields' bytes.
+
+    ``over`` lists the names of fields (searched by name in the model tree)
+    whose built bytes are concatenated, in declaration order, as checksum
+    input.
+    """
+
+    algorithm = "fixup"
+
+    def __init__(self, over: Sequence[str]):
+        if not over:
+            raise ModelError("fixup must cover at least one field")
+        self.over = tuple(over)
+
+    def compute(self, data: bytes) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} over={self.over!r}>"
+
+
+class Crc32Fixup(Fixup):
+    """CRC-32 (the paper's Fig. 1 ``Crc32Fixup``)."""
+
+    algorithm = "crc32"
+
+    def compute(self, data: bytes) -> int:
+        return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class Crc16ModbusFixup(Fixup):
+    algorithm = "crc16-modbus"
+
+    def compute(self, data: bytes) -> int:
+        return crc16_modbus(data)
+
+
+class Dnp3CrcFixup(Fixup):
+    algorithm = "crc16-dnp"
+
+    def compute(self, data: bytes) -> int:
+        return crc_dnp3(data)
+
+
+class Sum8Fixup(Fixup):
+    algorithm = "sum8"
+
+    def compute(self, data: bytes) -> int:
+        return sum8(data)
+
+
+class Xor8Fixup(Fixup):
+    algorithm = "xor8"
+
+    def compute(self, data: bytes) -> int:
+        return xor8(data)
+
+
+class Lrc8Fixup(Fixup):
+    algorithm = "lrc8"
+
+    def compute(self, data: bytes) -> int:
+        return lrc8(data)
+
+
+def attach_fixup(field: Field, fixup: Fixup) -> Field:
+    """Attach *fixup* to a Number/Blob carrier and return it (fluent)."""
+    if not isinstance(field, (Number, Blob)):
+        raise ModelError(f"fixups attach to Number/Blob fields, not {field!r}")
+    if field.fixed_width() is None:
+        raise ModelError(f"fixup carrier {field.name!r} must be fixed-width")
+    if field.relation is not None:
+        raise ModelError(f"{field.name!r} cannot carry both relation and fixup")
+    field.fixup = fixup
+    return field

@@ -1,0 +1,55 @@
+"""The generation loop primitives of paper Alg. 1.
+
+These helpers implement CHOOSE / ANALYZE / GENERATE / JOINT: pick a data
+model from the pit, instantiate its chunks via the Peach mutators, and
+serialize.  Both fuzzing engines drive their packet production through
+:func:`generate_packet`; Peach* additionally routes through the semantic
+generator when the puzzle corpus is non-empty.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Tuple
+
+from repro.model.datamodel import DataModel, Pit, ValueProvider
+from repro.model.instree import InsTree
+from repro.model.mutators import GenerationPolicy, MutatorProvider
+
+
+def choose_model(pit: Pit, rng: random.Random) -> DataModel:
+    """CHOOSE of paper Alg. 1: weighted random pick of a data model."""
+    models = pit.models()
+    weights = [model.weight for model in models]
+    total = sum(weights)
+    if total <= 0:
+        return models[rng.randrange(len(models))]
+    roll = rng.random() * total
+    acc = 0.0
+    for model, weight in zip(models, weights):
+        acc += weight
+        if roll < acc:
+            return model
+    return models[-1]
+
+
+def analyze(model: DataModel) -> Sequence:
+    """ANALYZE of paper Alg. 1: the chunks the model requires, in order."""
+    return model.linear()
+
+
+def generate_packet(model: DataModel, rng: random.Random,
+                    policy: Optional[GenerationPolicy] = None,
+                    provider: Optional[ValueProvider] = None,
+                    ) -> Tuple[InsTree, bytes]:
+    """Instantiate *model* into a packet.
+
+    Returns the InsTree (kept so a valuable seed can be cracked without
+    re-parsing) and the wire bytes.  When *provider* is given it overrides
+    the mutator-based instantiation — the hook used by semantic-aware
+    generation.
+    """
+    if provider is None:
+        provider = MutatorProvider(rng, policy)
+    tree = model.build(provider)
+    return tree, model.to_wire(tree)

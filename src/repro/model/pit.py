@@ -1,0 +1,243 @@
+"""XML pit loader: a subset of the Peach Pit schema.
+
+The paper uses "the existing pit file of Peach, which specifies the input
+format and is a requisition for Peach execution" (§V-A).  Our protocol
+pits are defined programmatically in ``repro.protocols.*.model``, but this
+loader lets users bring their own format specifications as XML, mirroring
+the Peach workflow:
+
+.. code-block:: xml
+
+    <Pit name="demo">
+      <DataModel name="demo.packet">
+        <Number name="id" size="8" default="1" token="true"/>
+        <Number name="size" size="16" endian="big">
+          <Relation type="size" of="data"/>
+        </Number>
+        <Block name="data">
+          <Number name="code" size="8" values="1,2,3"/>
+          <Blob name="payload" maxLength="64"/>
+        </Block>
+        <Number name="crc" size="32">
+          <Fixup algorithm="crc32" over="id,size,data"/>
+        </Number>
+      </DataModel>
+    </Pit>
+
+Supported elements: ``Pit``, ``DataModel``, ``Block``, ``Choice``,
+``Repeat``, ``Number``, ``String``, ``Blob``, ``Relation`` (size/count)
+and ``Fixup`` (crc32, crc16-modbus, crc16-dnp, sum8, xor8, lrc8).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional
+
+from repro.model.datamodel import DataModel, Pit
+from repro.model.fields import (
+    Blob, Block, Choice, Field, ModelError, Number, Repeat, Str,
+)
+from repro.model.fixups import (
+    Crc16ModbusFixup, Crc32Fixup, Dnp3CrcFixup, Fixup, Lrc8Fixup, Sum8Fixup,
+    Xor8Fixup, attach_fixup,
+)
+from repro.model.relations import CountOf, SizeOf, attach_relation
+
+_FIXUPS: Dict[str, type] = {
+    "crc32": Crc32Fixup,
+    "crc16-modbus": Crc16ModbusFixup,
+    "crc16-dnp": Dnp3CrcFixup,
+    "sum8": Sum8Fixup,
+    "xor8": Xor8Fixup,
+    "lrc8": Lrc8Fixup,
+}
+
+
+class PitError(ModelError):
+    """Raised for malformed pit XML."""
+
+
+def load_pit_string(text: str) -> Pit:
+    """Parse a pit from an XML string."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise PitError(f"invalid pit XML: {exc}") from exc
+    return _build_pit(root)
+
+
+def load_pit_file(path: str) -> Pit:
+    """Parse a pit from an XML file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_pit_string(handle.read())
+
+
+def _build_pit(root: ET.Element) -> Pit:
+    if root.tag != "Pit":
+        raise PitError(f"root element must be <Pit>, got <{root.tag}>")
+    name = root.get("name", "pit")
+    models: List[DataModel] = []
+    for element in root:
+        if element.tag != "DataModel":
+            raise PitError(f"unexpected <{element.tag}> under <Pit>")
+        models.append(_build_model(element))
+    return Pit(name, models)
+
+
+def _build_model(element: ET.Element) -> DataModel:
+    name = _require(element, "name")
+    children = [_build_field(child) for child in element
+                if child.tag not in ("Relation", "Fixup")]
+    if not children:
+        raise PitError(f"data model {name!r} is empty")
+    root = Block(name + ".root", children)
+    weight = float(element.get("weight", "1.0"))
+    return DataModel(name, root, weight=weight)
+
+
+def _build_field(element: ET.Element) -> Field:
+    builders = {
+        "Number": _build_number,
+        "String": _build_string,
+        "Blob": _build_blob,
+        "Block": _build_block,
+        "Choice": _build_choice,
+        "Repeat": _build_repeat,
+    }
+    builder = builders.get(element.tag)
+    if builder is None:
+        raise PitError(f"unsupported element <{element.tag}>")
+    field = builder(element)
+    _apply_relation_and_fixup(field, element)
+    return field
+
+
+def _apply_relation_and_fixup(field: Field, element: ET.Element) -> None:
+    for child in element:
+        if child.tag == "Relation":
+            rel_type = _require(child, "type")
+            target = _require(child, "of")
+            adjust = int(child.get("adjust", "0"))
+            if rel_type == "size":
+                attach_relation(field, SizeOf(target, adjust))
+            elif rel_type == "count":
+                attach_relation(field, CountOf(target, adjust))
+            else:
+                raise PitError(f"unknown relation type {rel_type!r}")
+        elif child.tag == "Fixup":
+            algorithm = _require(child, "algorithm")
+            over = [part.strip() for part in
+                    _require(child, "over").split(",") if part.strip()]
+            fixup_cls = _FIXUPS.get(algorithm)
+            if fixup_cls is None:
+                raise PitError(f"unknown fixup algorithm {algorithm!r}")
+            attach_fixup(field, fixup_cls(over))
+
+
+def _common_kwargs(element: ET.Element) -> dict:
+    kwargs = {}
+    semantic = element.get("semantic")
+    if semantic:
+        kwargs["semantic"] = semantic
+    if element.get("token", "false").lower() in ("true", "1", "yes"):
+        kwargs["token"] = True
+    return kwargs
+
+
+def _build_number(element: ET.Element) -> Number:
+    name = _require(element, "name")
+    size_bits = int(element.get("size", "8"))
+    if size_bits % 8 != 0:
+        raise PitError(f"number {name!r}: size must be a multiple of 8 bits")
+    values = None
+    values_attr = element.get("values")
+    if values_attr:
+        values = [int(part, 0) for part in values_attr.split(",")]
+    default_attr = element.get("default")
+    if default_attr is not None:
+        default = int(default_attr, 0)
+    elif values:
+        default = values[0]  # enum without explicit default: first member
+    else:
+        default = 0
+    return Number(
+        name,
+        width=size_bits // 8,
+        endian=element.get("endian", "big"),
+        default=default,
+        signed=element.get("signed", "false").lower() in ("true", "1"),
+        values=values,
+        minimum=_opt_int(element, "min"),
+        maximum=_opt_int(element, "max"),
+        **_common_kwargs(element),
+    )
+
+
+def _build_string(element: ET.Element) -> Str:
+    return Str(
+        _require(element, "name"),
+        default=element.get("default", ""),
+        length=_opt_int(element, "length"),
+        **_common_kwargs(element),
+    )
+
+
+def _build_blob(element: ET.Element) -> Blob:
+    default_hex = element.get("default", "")
+    default = bytes.fromhex(default_hex) if default_hex else b""
+    return Blob(
+        _require(element, "name"),
+        default=default,
+        length=_opt_int(element, "length"),
+        max_length=int(element.get("maxLength", "1024")),
+        **_common_kwargs(element),
+    )
+
+
+def _build_block(element: ET.Element) -> Block:
+    name = _require(element, "name")
+    children = [_build_field(child) for child in element
+                if child.tag not in ("Relation", "Fixup")]
+    if not children:
+        raise PitError(f"block {name!r} is empty")
+    kwargs = {}
+    semantic = element.get("semantic")
+    if semantic:
+        kwargs["semantic"] = semantic
+    return Block(name, children, **kwargs)
+
+
+def _build_choice(element: ET.Element) -> Choice:
+    name = _require(element, "name")
+    options = [_build_field(child) for child in element
+               if child.tag not in ("Relation", "Fixup")]
+    if not options:
+        raise PitError(f"choice {name!r} is empty")
+    return Choice(name, options)
+
+
+def _build_repeat(element: ET.Element) -> Repeat:
+    name = _require(element, "name")
+    children = [_build_field(child) for child in element
+                if child.tag not in ("Relation", "Fixup")]
+    if len(children) != 1:
+        raise PitError(f"repeat {name!r} needs exactly one element child")
+    return Repeat(
+        name, children[0],
+        min_count=int(element.get("minCount", "0")),
+        max_count=int(element.get("maxCount", "64")),
+    )
+
+
+def _require(element: ET.Element, attribute: str) -> str:
+    value = element.get(attribute)
+    if value is None:
+        raise PitError(f"<{element.tag}> missing required "
+                       f"attribute {attribute!r}")
+    return value
+
+
+def _opt_int(element: ET.Element, attribute: str) -> Optional[int]:
+    value = element.get(attribute)
+    return int(value, 0) if value is not None else None

@@ -1,0 +1,83 @@
+"""Relations: computed integrity constraints between fields.
+
+A relation attaches to a *number* field and derives its value from another
+field of the same data model — Peach's ``<Relation type="size"/"count">``.
+The paper's Fig. 1 example uses ``sizeof`` to make the ``Size`` field carry
+the byte length of ``Data``; the File Fixup module (paper §IV-D) re-runs
+these relations over spliced packets to re-establish integrity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.fields import Field, ModelError, Number
+
+
+class Relation:
+    """Base class: derives the carrier field's value from a target field.
+
+    ``of`` names the target field (searched by name anywhere in the model
+    tree); ``adjust`` is added to the computed value on build and
+    subtracted on parse (e.g. a length byte that also covers a trailing
+    unit-id would use ``adjust=1``).
+    """
+
+    type_name = "relation"
+
+    def __init__(self, of: str, adjust: int = 0):
+        if not of:
+            raise ModelError("relation target name must be non-empty")
+        self.of = of
+        self.adjust = adjust
+
+    def compute(self, target_raw: bytes, target_count: Optional[int]) -> int:
+        """Return the carrier's value given the target's built bytes/count."""
+        raise NotImplementedError
+
+    def target_extent(self, carrier_value: int) -> int:
+        """Invert :meth:`compute` during parse: carrier value -> extent."""
+        return carrier_value - self.adjust
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} of={self.of!r} adjust={self.adjust}>"
+
+
+class SizeOf(Relation):
+    """Carrier value = byte length of the target field (+ adjust)."""
+
+    type_name = "size"
+
+    def compute(self, target_raw: bytes, target_count: Optional[int]) -> int:
+        return len(target_raw) + self.adjust
+
+
+class CountOf(Relation):
+    """Carrier value = element count of the target ``Repeat`` (+ adjust)."""
+
+    type_name = "count"
+
+    def compute(self, target_raw: bytes, target_count: Optional[int]) -> int:
+        if target_count is None:
+            raise ModelError(f"CountOf target {self.of!r} is not a Repeat")
+        return target_count + self.adjust
+
+
+def attach_relation(field: Field, relation: Relation) -> Field:
+    """Attach *relation* to a number field and return the field (fluent)."""
+    if not isinstance(field, Number):
+        raise ModelError(f"relations attach to Number fields, not {field!r}")
+    if field.fixup is not None:
+        raise ModelError(f"{field.name!r} cannot carry both relation and fixup")
+    field.relation = relation
+    return field
+
+
+def size_of(field: Number, of: str, adjust: int = 0) -> Number:
+    """Convenience: mark *field* as carrying ``sizeof(of) + adjust``."""
+    return attach_relation(field, SizeOf(of, adjust))
+
+
+def count_of(field: Number, of: str, adjust: int = 0) -> Number:
+    """Convenience: mark *field* as carrying ``countof(of) + adjust``."""
+    return attach_relation(field, CountOf(of, adjust))

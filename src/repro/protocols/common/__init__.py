@@ -1,0 +1,13 @@
+"""Shared protocol plumbing: BER/TLV codec and target registry types."""
+
+from repro.protocols.common.ber import (
+    BerError, collect_children, decode_integer, decode_length, decode_tlv,
+    encode_integer, encode_length, encode_tlv, encode_visible_string,
+    iter_tlvs,
+)
+
+__all__ = [
+    "BerError", "collect_children", "decode_integer", "decode_length",
+    "decode_tlv", "encode_integer", "encode_length", "encode_tlv",
+    "encode_visible_string", "iter_tlvs",
+]

@@ -1,0 +1,105 @@
+"""Minimal BER/TLV codec shared by the MMS-based targets.
+
+libiec61850 and libiec_iccp_mod both speak MMS, which is BER-encoded
+ASN.1.  This module provides the small definite-length TLV subset those
+stacks actually exercise: context/application/universal tags, one- and
+two-byte lengths, nested constructed values.
+
+The *servers* deliberately do not use these safe helpers on their hot
+paths — they re-implement C-style decoding against the simulated heap so
+that the seeded vulnerabilities live where the paper found them.  The
+helpers here serve the data models, codecs, tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+class BerError(Exception):
+    """Raised on malformed TLV structures."""
+
+
+def encode_length(length: int) -> bytes:
+    """Encode a definite BER length (short or two-byte long form)."""
+    if length < 0:
+        raise BerError(f"negative length {length}")
+    if length < 0x80:
+        return bytes((length,))
+    if length <= 0xFF:
+        return bytes((0x81, length))
+    if length <= 0xFFFF:
+        return bytes((0x82, length >> 8, length & 0xFF))
+    raise BerError(f"length {length} too large")
+
+
+def decode_length(data: bytes, pos: int) -> Tuple[int, int]:
+    """Return ``(length, new_pos)`` for the length octets at *pos*."""
+    if pos >= len(data):
+        raise BerError("truncated length")
+    first = data[pos]
+    pos += 1
+    if first < 0x80:
+        return first, pos
+    count = first & 0x7F
+    if count == 0 or count > 2:
+        raise BerError(f"unsupported length-of-length {count}")
+    if pos + count > len(data):
+        raise BerError("truncated long-form length")
+    value = int.from_bytes(data[pos:pos + count], "big")
+    return value, pos + count
+
+
+def encode_tlv(tag: int, value: bytes) -> bytes:
+    """Encode one TLV with a single-byte tag."""
+    if not 0 <= tag <= 0xFF:
+        raise BerError(f"tag {tag:#x} out of range")
+    return bytes((tag,)) + encode_length(len(value)) + value
+
+
+def decode_tlv(data: bytes, pos: int = 0) -> Tuple[int, bytes, int]:
+    """Return ``(tag, value, new_pos)`` for the TLV at *pos*."""
+    if pos >= len(data):
+        raise BerError("truncated tag")
+    tag = data[pos]
+    length, value_pos = decode_length(data, pos + 1)
+    end = value_pos + length
+    if end > len(data):
+        raise BerError(f"TLV value truncated (need {length} bytes)")
+    return tag, data[value_pos:end], end
+
+
+def iter_tlvs(data: bytes) -> Iterator[Tuple[int, bytes]]:
+    """Iterate consecutive TLVs covering all of *data*."""
+    pos = 0
+    while pos < len(data):
+        tag, value, pos = decode_tlv(data, pos)
+        yield tag, value
+
+
+def encode_integer(value: int, tag: int = 0x02) -> bytes:
+    """BER integer with minimal two's-complement content octets."""
+    if value == 0:
+        body = b"\x00"
+    else:
+        length = (value.bit_length() + 8) // 8
+        body = value.to_bytes(length, "big", signed=True)
+        # strip a redundant leading sign octet
+        if len(body) > 1 and body[0] == 0 and body[1] < 0x80:
+            body = body[1:]
+    return encode_tlv(tag, body)
+
+
+def decode_integer(value: bytes) -> int:
+    if not value:
+        raise BerError("empty integer")
+    return int.from_bytes(value, "big", signed=True)
+
+
+def encode_visible_string(text: str, tag: int = 0x1A) -> bytes:
+    return encode_tlv(tag, text.encode("latin-1", errors="replace"))
+
+
+def collect_children(value: bytes) -> List[Tuple[int, bytes]]:
+    """Decode a constructed value's immediate children."""
+    return list(iter_tlvs(value))

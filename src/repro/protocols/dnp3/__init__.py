@@ -1,0 +1,14 @@
+"""opendnp3-analog target: DNP3 outstation, codec and pit."""
+
+from repro.protocols.dnp3.codec import (
+    Dnp3CrcTransformer, FrameError, add_crcs, build_link_header,
+    build_request, object_header, parse_response, strip_crcs,
+)
+from repro.protocols.dnp3.model import make_pit
+from repro.protocols.dnp3.server import Dnp3Server
+
+__all__ = [
+    "Dnp3CrcTransformer", "Dnp3Server", "FrameError", "add_crcs",
+    "build_link_header", "build_request", "make_pit", "object_header",
+    "parse_response", "strip_crcs",
+]

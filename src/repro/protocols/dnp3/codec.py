@@ -1,0 +1,174 @@
+"""DNP3 codec — link framing with interleaved CRCs, transport, app layer.
+
+DNP3 (IEEE 1815) frames carry a CRC every 16 octets of user data plus one
+over the 8-octet link header.  :func:`add_crcs` / :func:`strip_crcs`
+convert between the *logical* frame (what the data models describe) and
+the wire form; :class:`Dnp3CrcTransformer` plugs that into the model
+layer the way Peach transformers do.
+"""
+
+from __future__ import annotations
+
+from repro.model import Transformer
+from repro.model.fixups import crc_dnp3
+
+START0 = 0x05
+START1 = 0x64
+LINK_HEADER_LEN = 8  # start(2) + len(1) + ctrl(1) + dest(2) + src(2)
+BLOCK_SIZE = 16
+
+# link control: DIR | PRM | function
+LINK_PRM = 0x40
+LINK_FC_CONFIRMED_USER_DATA = 3
+LINK_FC_UNCONFIRMED_USER_DATA = 4
+LINK_FC_REQUEST_STATUS = 9
+
+# transport header bits
+TRANSPORT_FIN = 0x80
+TRANSPORT_FIR = 0x40
+
+# application function codes
+FC_CONFIRM = 0
+FC_READ = 1
+FC_WRITE = 2
+FC_SELECT = 3
+FC_OPERATE = 4
+FC_DIRECT_OPERATE = 5
+FC_DIRECT_OPERATE_NR = 6
+FC_FREEZE = 7
+FC_COLD_RESTART = 13
+FC_WARM_RESTART = 14
+FC_DELAY_MEASURE = 23
+FC_RESPONSE = 129
+FC_UNSOLICITED = 130
+
+# qualifier codes
+QC_START_STOP_8 = 0x00
+QC_START_STOP_16 = 0x01
+QC_ALL = 0x06
+QC_COUNT_8 = 0x07
+QC_COUNT_16 = 0x08
+QC_INDEX_8 = 0x17
+QC_INDEX_16 = 0x28
+
+# internal indication bits (first octet)
+IIN1_DEVICE_RESTART = 0x80
+IIN2_NO_FUNC_CODE_SUPPORT = 0x01
+IIN2_OBJECT_UNKNOWN = 0x02
+IIN2_PARAMETER_ERROR = 0x04
+
+
+class FrameError(ValueError):
+    """Raised by the safe codec on malformed wire frames."""
+
+
+def crc(data: bytes) -> int:
+    """The DNP3 CRC (DESIGN: shared with the model layer's fixup)."""
+    return crc_dnp3(data)
+
+
+def add_crcs(logical: bytes) -> bytes:
+    """Insert the header CRC and per-16-octet-block CRCs.
+
+    *logical* is the CRC-free frame: 8-octet link header + user data.
+    Short inputs are passed through untouched (they are not valid frames
+    and the server will reject them on its own).
+    """
+    if len(logical) < LINK_HEADER_LEN:
+        return logical
+    header = logical[:LINK_HEADER_LEN]
+    out = bytearray(header)
+    out += crc(header).to_bytes(2, "little")
+    user_data = logical[LINK_HEADER_LEN:]
+    for start in range(0, len(user_data), BLOCK_SIZE):
+        block = user_data[start:start + BLOCK_SIZE]
+        out += block
+        out += crc(block).to_bytes(2, "little")
+    return bytes(out)
+
+
+def strip_crcs(wire: bytes, *, verify: bool = True) -> bytes:
+    """Remove and optionally verify the CRCs of a wire frame."""
+    if len(wire) < LINK_HEADER_LEN + 2:
+        raise FrameError("frame shorter than link header + CRC")
+    header = wire[:LINK_HEADER_LEN]
+    got = int.from_bytes(wire[LINK_HEADER_LEN:LINK_HEADER_LEN + 2], "little")
+    if verify and got != crc(header):
+        raise FrameError(f"bad header CRC {got:#06x}")
+    out = bytearray(header)
+    pos = LINK_HEADER_LEN + 2
+    while pos < len(wire):
+        remaining = len(wire) - pos
+        if remaining < 3:
+            raise FrameError("dangling bytes after last block")
+        if remaining < BLOCK_SIZE + 2:  # last (short) block + its CRC
+            block = wire[pos:len(wire) - 2]
+        else:
+            block = wire[pos:pos + BLOCK_SIZE]
+        block_crc = int.from_bytes(
+            wire[pos + len(block):pos + len(block) + 2], "little")
+        if verify and block_crc != crc(block):
+            raise FrameError(f"bad block CRC {block_crc:#06x}")
+        out += block
+        pos += len(block) + 2
+    return bytes(out)
+
+
+class Dnp3CrcTransformer(Transformer):
+    """Model-layer transformer: logical frame <-> CRC-interleaved wire."""
+
+    def encode(self, data: bytes) -> bytes:
+        return add_crcs(data)
+
+    def decode(self, data: bytes) -> bytes:
+        try:
+            return strip_crcs(data, verify=True)
+        except FrameError as exc:
+            from repro.model import ParseError
+            raise ParseError(str(exc)) from exc
+
+
+def build_link_header(length: int, ctrl: int, dest: int, src: int) -> bytes:
+    return (bytes((START0, START1, length, ctrl))
+            + dest.to_bytes(2, "little") + src.to_bytes(2, "little"))
+
+
+def build_request(app_fc: int, objects: bytes = b"", *, dest: int = 1,
+                  src: int = 2, app_seq: int = 0,
+                  transport_seq: int = 0) -> bytes:
+    """Build a complete wire request (link + transport + app, CRCs added)."""
+    app = bytes((0xC0 | (app_seq & 0x0F), app_fc)) + objects
+    transport = bytes((TRANSPORT_FIN | TRANSPORT_FIR
+                       | (transport_seq & 0x3F),))
+    user_data = transport + app
+    length = 5 + len(user_data)
+    logical = build_link_header(length, LINK_PRM
+                                | LINK_FC_UNCONFIRMED_USER_DATA,
+                                dest, src) + user_data
+    return add_crcs(logical)
+
+
+def object_header(group: int, variation: int, qualifier: int,
+                  range_bytes: bytes = b"") -> bytes:
+    return bytes((group, variation, qualifier)) + range_bytes
+
+
+def parse_response(wire: bytes) -> dict:
+    """Parse a response frame into its header fields (safe helper)."""
+    logical = strip_crcs(wire, verify=True)
+    if logical[0] != START0 or logical[1] != START1:
+        raise FrameError("bad start octets")
+    user = logical[LINK_HEADER_LEN:]
+    if len(user) < 5:
+        raise FrameError("response user data too short")
+    return {
+        "length": logical[2],
+        "link_ctrl": logical[3],
+        "dest": int.from_bytes(logical[4:6], "little"),
+        "src": int.from_bytes(logical[6:8], "little"),
+        "transport": user[0],
+        "app_ctrl": user[1],
+        "app_fc": user[2],
+        "iin": int.from_bytes(user[3:5], "big"),
+        "objects": user[5:],
+    }

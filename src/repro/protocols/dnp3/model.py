@@ -1,0 +1,150 @@
+"""Peach pit for the DNP3 target.
+
+Models describe the *logical* frame (CRC-free); the
+:class:`~repro.protocols.dnp3.codec.Dnp3CrcTransformer` interleaves the
+header/block CRCs on serialization — the Transformer + Fixup split Peach
+itself uses for DNP3.  One data model per request shape, sharing the
+link/transport/app header rules plus the object-header rules
+(``group``/``variation``/``qualifier``/range) across models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.model import Blob, Block, DataModel, Number, Pit, size_of
+from repro.protocols.dnp3 import codec
+
+
+def _request_model(name: str, app_fc: int, object_fields: Sequence,
+                   weight: float = 1.0) -> DataModel:
+    body_children: List = [
+        Number("transport", 1,
+               default=codec.TRANSPORT_FIN | codec.TRANSPORT_FIR,
+               semantic="transport_header"),
+        Number("app_ctrl", 1, default=0xC0, semantic="app_ctrl"),
+        Number("app_fc", 1, default=app_fc, token=True,
+               semantic="app_function"),
+    ]
+    body_children.extend(object_fields)
+    root = Block(f"{name}.frame", [
+        Number("start0", 1, default=codec.START0, token=True,
+               semantic="start0"),
+        Number("start1", 1, default=codec.START1, token=True,
+               semantic="start1"),
+        size_of(Number("length", 1, semantic="link_length"), "link_body",
+                adjust=5),
+        Number("link_ctrl", 1,
+               default=codec.LINK_PRM | codec.LINK_FC_UNCONFIRMED_USER_DATA,
+               semantic="link_ctrl"),
+        Number("dest", 2, default=1, endian="little", semantic="dest"),
+        Number("src", 2, default=2, endian="little", semantic="src"),
+        Block("link_body", body_children),
+    ], )
+    model = DataModel(f"dnp3.{name}", root, weight=weight,
+                      transformer=codec.Dnp3CrcTransformer())
+    return model
+
+
+def _object_header(group: int, variation: int, qualifier: int) -> List:
+    return [
+        Number("group", 1, default=group, token=True, semantic="group"),
+        Number("variation", 1, default=variation, semantic="variation"),
+        Number("qualifier", 1, default=qualifier, semantic="qualifier"),
+    ]
+
+
+def make_pit() -> Pit:
+    """Build the DNP3 pit (15 request models)."""
+    models = [
+        # class-data poll: the canonical integrity scan
+        _request_model("read_class_data", codec.FC_READ,
+                       _object_header(60, 1, codec.QC_ALL)),
+        _request_model("read_binaries", codec.FC_READ,
+                       _object_header(1, 2, codec.QC_START_STOP_8) + [
+                           Number("range_start", 1, default=0,
+                                  semantic="range_start"),
+                           Number("range_stop", 1, default=7,
+                                  semantic="range_stop"),
+                       ]),
+        _request_model("read_binaries_wide", codec.FC_READ,
+                       _object_header(1, 1, codec.QC_START_STOP_16) + [
+                           Number("range_start16", 2, default=0,
+                                  endian="little", semantic="range_start"),
+                           Number("range_stop16", 2, default=15,
+                                  endian="little", semantic="range_stop"),
+                       ]),
+        _request_model("read_counters", codec.FC_READ,
+                       _object_header(20, 1, codec.QC_COUNT_8) + [
+                           Number("count", 1, default=4, semantic="count"),
+                       ]),
+        _request_model("read_analogs", codec.FC_READ,
+                       _object_header(30, 2, codec.QC_ALL)),
+        _request_model("write_time", codec.FC_WRITE,
+                       _object_header(50, 1, codec.QC_COUNT_8) + [
+                           Number("count", 1, default=1, semantic="count"),
+                           Blob("timestamp", default=b"\x00\x60\x8e\x31"
+                                                     b"\x96\x01",
+                                length=6, semantic="timestamp"),
+                       ]),
+        _request_model("clear_restart", codec.FC_WRITE,
+                       _object_header(80, 1, codec.QC_START_STOP_8) + [
+                           Number("range_start", 1, default=7,
+                                  semantic="range_start"),
+                           Number("range_stop", 1, default=7,
+                                  semantic="range_stop"),
+                       ]),
+        _request_model("select_crob", codec.FC_SELECT,
+                       _object_header(12, 1, codec.QC_INDEX_8) + [
+                           Number("count", 1, default=1, semantic="count"),
+                           Number("index", 1, default=0, semantic="index"),
+                           Number("crob_code", 1, default=0x01,
+                                  semantic="crob_code"),
+                           Number("crob_count", 1, default=1,
+                                  semantic="crob_count"),
+                           Number("on_time", 4, default=100,
+                                  endian="little", semantic="on_time"),
+                           Number("off_time", 4, default=100,
+                                  endian="little", semantic="off_time"),
+                           Number("status", 1, default=0,
+                                  semantic="control_status"),
+                       ]),
+        _request_model("operate_crob", codec.FC_OPERATE,
+                       _object_header(12, 1, codec.QC_INDEX_8) + [
+                           Number("count", 1, default=1, semantic="count"),
+                           Number("index", 1, default=0, semantic="index"),
+                           Number("crob_code", 1, default=0x01,
+                                  semantic="crob_code"),
+                           Number("crob_count", 1, default=1,
+                                  semantic="crob_count"),
+                           Number("on_time", 4, default=100,
+                                  endian="little", semantic="on_time"),
+                           Number("off_time", 4, default=100,
+                                  endian="little", semantic="off_time"),
+                           Number("status", 1, default=0,
+                                  semantic="control_status"),
+                       ]),
+        _request_model("direct_operate_analog", codec.FC_DIRECT_OPERATE,
+                       _object_header(41, 2, codec.QC_INDEX_8) + [
+                           Number("count", 1, default=1, semantic="count"),
+                           Number("index", 1, default=0, semantic="index"),
+                           Number("analog_value", 2, default=1000,
+                                  endian="little", semantic="analog_value"),
+                           Number("status", 1, default=0,
+                                  semantic="control_status"),
+                       ]),
+        _request_model("freeze_counters", codec.FC_FREEZE,
+                       _object_header(20, 0, codec.QC_ALL)),
+        _request_model("cold_restart", codec.FC_COLD_RESTART, []),
+        _request_model("delay_measure", codec.FC_DELAY_MEASURE, []),
+        _request_model("confirm", codec.FC_CONFIRM, [], weight=0.3),
+        # coarse model: opaque APDU after the app function code
+        _request_model("raw_objects", codec.FC_READ, [
+            Blob("objects", default=bytes((60, 2, 0x06)), max_length=48,
+                 semantic="raw_objects"),
+        ], weight=0.6),
+    ]
+    raw = models[-1]
+    fc_field = raw.root.child("link_body").child("app_fc")
+    fc_field.token = False
+    return Pit("dnp3", models)

@@ -1,0 +1,502 @@
+"""opendnp3-analog outstation: the fuzzed DNP3 target.
+
+Implements the outstation-side packet pipeline of opendnp3: link-layer
+validation (start octets, length, CRCs), transport reassembly header,
+and an application layer dispatching function codes over object headers
+with the full set of range qualifiers.  The many (function code × group ×
+variation × qualifier) combinations give this target the "hundreds of
+paths" scale the paper's Fig. 4f shows.
+
+No vulnerabilities are seeded (Table I lists none for opendnp3); every
+access is bounds-checked and malformed input is answered with IIN error
+bits, mirroring the real library's defensive posture.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.protocols.dnp3 import codec
+from repro.runtime.target import ProtocolServer
+from repro.sanitizer.heap import Pointer, SimHeap
+
+LOCAL_ADDRESS = 1
+DB_BINARY_POINTS = 16
+DB_ANALOG_POINTS = 8
+DB_COUNTER_POINTS = 8
+
+
+class Dnp3Server(ProtocolServer):
+    """DNP3 outstation with opendnp3-shaped control flow."""
+
+    name = "opendnp3"
+
+    def __init__(self):
+        self.restart_iin = True
+        self.selected: Optional[Tuple[int, int]] = None
+        self.app_seq = 0
+
+    def reset(self) -> None:
+        self.restart_iin = True
+        self.selected = None
+        self.app_seq = 0
+
+    # ------------------------------------------------------------------
+    # link layer
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, heap: SimHeap, data: bytes) -> Optional[bytes]:
+        if len(data) < codec.LINK_HEADER_LEN + 2:
+            return None
+        frame = heap.malloc_from(data, "link-frame")
+        if heap.read_u8(frame, 0, "link_parser.cpp:start0") != codec.START0:
+            return None
+        if heap.read_u8(frame, 1, "link_parser.cpp:start1") != codec.START1:
+            return None
+        length = heap.read_u8(frame, 2, "link_parser.cpp:length")
+        if length < 5:
+            return None
+        ctrl = heap.read_u8(frame, 3, "link_parser.cpp:ctrl")
+        dest = heap.read_u16(frame, 4, "link_parser.cpp:dest",
+                             endian="little")
+        src = heap.read_u16(frame, 6, "link_parser.cpp:src", endian="little")
+        header_crc = heap.read_u16(frame, 8, "link_parser.cpp:header_crc",
+                                   endian="little")
+        header = heap.read(frame, 0, 8, "link_parser.cpp:header_bytes")
+        if header_crc != codec.crc(header):
+            return None  # bad header CRC: frame discarded
+        if dest != LOCAL_ADDRESS and dest != 0xFFFF:
+            return None  # not addressed to us
+        if ctrl & codec.LINK_PRM == 0:
+            return None  # secondary-station frame: ignored by outstation
+        link_fc = ctrl & 0x0F
+        if link_fc == codec.LINK_FC_REQUEST_STATUS:
+            return self._link_status(src)
+        if link_fc not in (codec.LINK_FC_CONFIRMED_USER_DATA,
+                           codec.LINK_FC_UNCONFIRMED_USER_DATA):
+            return None
+        user_data = self._extract_user_data(heap, frame, len(data), length)
+        if user_data is None:
+            return None
+        return self._handle_transport(heap, user_data, src)
+
+    def _extract_user_data(self, heap: SimHeap, frame: Pointer,
+                           total: int, length: int) -> Optional[bytes]:
+        """Validate block CRCs and collect the user data octets."""
+        expected = length - 5  # user data octets announced by the header
+        out = bytearray()
+        pos = codec.LINK_HEADER_LEN + 2
+        while pos < total and len(out) < expected:
+            remaining = expected - len(out)
+            block_len = min(codec.BLOCK_SIZE, remaining)
+            if pos + block_len + 2 > total:
+                return None  # truncated block
+            block = heap.read(frame, pos, block_len,
+                              "link_parser.cpp:block_bytes")
+            block_crc = heap.read_u16(frame, pos + block_len,
+                                      "link_parser.cpp:block_crc",
+                                      endian="little")
+            if block_crc != codec.crc(block):
+                return None  # bad block CRC
+            out += block
+            pos += block_len + 2
+        if len(out) != expected or pos != total:
+            return None  # length mismatch with physical frame
+        return bytes(out)
+
+    def _link_status(self, src: int) -> bytes:
+        logical = codec.build_link_header(
+            5, 0x0B, src, LOCAL_ADDRESS)  # DIR=0 PRM=0 status-of-link
+        return codec.add_crcs(logical)
+
+    # ------------------------------------------------------------------
+    # transport + application layers
+    # ------------------------------------------------------------------
+
+    def _handle_transport(self, heap: SimHeap, user_data: bytes,
+                          src: int) -> Optional[bytes]:
+        if len(user_data) < 1:
+            return None
+        segment = heap.malloc_from(user_data, "transport-segment")
+        transport = heap.read_u8(segment, 0, "transport_rx.cpp:header")
+        if transport & codec.TRANSPORT_FIR == 0:
+            return None  # continuation without a first segment
+        if transport & codec.TRANSPORT_FIN == 0:
+            return None  # multi-segment reassembly not exercised per-packet
+        apdu = user_data[1:]
+        if len(apdu) < 2:
+            return None
+        return self._handle_apdu(heap, apdu, src)
+
+    def _handle_apdu(self, heap: SimHeap, apdu: bytes,
+                     src: int) -> Optional[bytes]:
+        buf = heap.malloc_from(apdu, "apdu")
+        app_ctrl = heap.read_u8(buf, 0, "app_layer.cpp:ctrl")
+        function = heap.read_u8(buf, 1, "app_layer.cpp:function")
+        self.app_seq = app_ctrl & 0x0F
+        iin = 0
+        if self.restart_iin:
+            iin |= codec.IIN1_DEVICE_RESTART << 8
+        objects = apdu[2:]
+        if function == codec.FC_CONFIRM:
+            return None  # confirms carry no response
+        if function == codec.FC_READ:
+            body, iin2 = self._handle_read(heap, objects)
+            return self._respond(iin | iin2, body, src)
+        if function == codec.FC_WRITE:
+            iin2 = self._handle_write(heap, objects)
+            return self._respond(iin | iin2, b"", src)
+        if function in (codec.FC_SELECT, codec.FC_OPERATE,
+                        codec.FC_DIRECT_OPERATE,
+                        codec.FC_DIRECT_OPERATE_NR):
+            body, iin2 = self._handle_control(heap, objects, function)
+            if function == codec.FC_DIRECT_OPERATE_NR:
+                return None  # no-response variant
+            return self._respond(iin | iin2, body, src)
+        if function == codec.FC_FREEZE:
+            iin2 = self._handle_freeze(heap, objects)
+            return self._respond(iin | iin2, b"", src)
+        if function in (codec.FC_COLD_RESTART, codec.FC_WARM_RESTART):
+            self.restart_iin = True
+            # time-delay fine object (g52v2), one 16-bit value
+            body = codec.object_header(52, 2, codec.QC_COUNT_8, bytes((1,)))
+            body += (5000).to_bytes(2, "little")
+            return self._respond(iin, body, src)
+        if function == codec.FC_DELAY_MEASURE:
+            body = codec.object_header(52, 2, codec.QC_COUNT_8, bytes((1,)))
+            body += (1).to_bytes(2, "little")
+            return self._respond(iin, body, src)
+        return self._respond(iin | (codec.IIN2_NO_FUNC_CODE_SUPPORT), b"",
+                             src)
+
+    # ------------------------------------------------------------------
+    # object-header walking
+    # ------------------------------------------------------------------
+
+    def _parse_headers(self, heap: SimHeap,
+                       objects: bytes) -> Optional[List[dict]]:
+        """Walk all object headers; None on malformed input."""
+        buf = heap.malloc_from(objects, "object-headers") if objects else None
+        headers: List[dict] = []
+        pos = 0
+        while pos < len(objects):
+            if pos + 3 > len(objects):
+                return None
+            group = heap.read_u8(buf, pos, "app_parser.cpp:group")
+            variation = heap.read_u8(buf, pos + 1, "app_parser.cpp:variation")
+            qualifier = heap.read_u8(buf, pos + 2, "app_parser.cpp:qualifier")
+            pos += 3
+            header = {"group": group, "variation": variation,
+                      "qualifier": qualifier, "count": 0, "start": 0,
+                      "indices": [], "data_pos": pos}
+            if qualifier == codec.QC_ALL:
+                pass
+            elif qualifier in (codec.QC_START_STOP_8, codec.QC_START_STOP_16):
+                width = 1 if qualifier == codec.QC_START_STOP_8 else 2
+                if pos + 2 * width > len(objects):
+                    return None
+                start = int.from_bytes(objects[pos:pos + width], "little")
+                stop = int.from_bytes(objects[pos + width:pos + 2 * width],
+                                      "little")
+                pos += 2 * width
+                if stop < start:
+                    return None
+                header["start"] = start
+                header["count"] = stop - start + 1
+            elif qualifier in (codec.QC_COUNT_8, codec.QC_COUNT_16):
+                width = 1 if qualifier == codec.QC_COUNT_8 else 2
+                if pos + width > len(objects):
+                    return None
+                header["count"] = int.from_bytes(objects[pos:pos + width],
+                                                 "little")
+                pos += width
+            elif qualifier in (codec.QC_INDEX_8, codec.QC_INDEX_16):
+                width = 1 if qualifier == codec.QC_INDEX_8 else 2
+                if pos + width > len(objects):
+                    return None
+                count = int.from_bytes(objects[pos:pos + width], "little")
+                pos += width
+                if count > 64:
+                    return None  # sanity bound, as opendnp3 enforces
+                header["count"] = count
+                header["index_width"] = width
+            else:
+                return None  # unknown qualifier
+            size = self._object_size(group, variation)
+            if size is None:
+                header["unknown_object"] = True
+                headers.append(header)
+                # cannot skip unknown payload reliably: stop parsing
+                break
+            payload = 0
+            if qualifier in (codec.QC_INDEX_8, codec.QC_INDEX_16):
+                width = header["index_width"]
+                payload = header["count"] * (width + size)
+            elif qualifier != codec.QC_ALL:
+                payload = header["count"] * size
+            if pos + payload > len(objects):
+                return None
+            header["data_pos"] = pos
+            pos += payload
+            headers.append(header)
+        return headers
+
+    @staticmethod
+    def _object_size(group: int, variation: int) -> Optional[int]:
+        """Request-direction object payload size per (group, variation)."""
+        table = {
+            (1, 0): 0, (1, 1): 0, (1, 2): 0,
+            (10, 0): 0, (10, 2): 0,
+            (12, 1): 11,
+            (20, 0): 0, (20, 1): 0, (20, 2): 0,
+            (30, 0): 0, (30, 1): 0, (30, 2): 0, (30, 3): 0, (30, 4): 0,
+            (41, 1): 5, (41, 2): 3, (41, 3): 5, (41, 4): 9,
+            (50, 1): 6,
+            (52, 2): 2,
+            (60, 1): 0, (60, 2): 0, (60, 3): 0, (60, 4): 0,
+            (80, 1): 0,
+        }
+        return table.get((group, variation))
+
+    # ------------------------------------------------------------------
+    # per-function handlers
+    # ------------------------------------------------------------------
+
+    def _handle_read(self, heap: SimHeap,
+                     objects: bytes) -> Tuple[bytes, int]:
+        headers = self._parse_headers(heap, objects)
+        if headers is None:
+            return b"", codec.IIN2_PARAMETER_ERROR
+        if not headers:
+            return b"", codec.IIN2_PARAMETER_ERROR
+        body = bytearray()
+        iin2 = 0
+        for header in headers:
+            if header.get("unknown_object"):
+                iin2 |= codec.IIN2_OBJECT_UNKNOWN
+                continue
+            group = header["group"]
+            if group == 60:
+                body += self._read_class_data(header["variation"])
+            elif group == 1:
+                body += self._read_binaries(header)
+            elif group == 10:
+                body += self._read_binary_outputs(header)
+            elif group == 20:
+                body += self._read_counters(header)
+            elif group == 30:
+                body += self._read_analogs(header)
+            else:
+                iin2 |= codec.IIN2_OBJECT_UNKNOWN
+        return bytes(body), iin2
+
+    def _read_class_data(self, variation: int) -> bytes:
+        if variation == 1:  # class 0: static data snapshot
+            return (self._read_binaries({"start": 0,
+                                         "count": DB_BINARY_POINTS,
+                                         "qualifier": codec.QC_ALL})
+                    + self._read_analogs({"start": 0,
+                                          "count": DB_ANALOG_POINTS,
+                                          "qualifier": codec.QC_ALL}))
+        if variation in (2, 3, 4):  # event classes: empty here
+            return b""
+        return b""
+
+    def _read_binaries(self, header: dict) -> bytes:
+        start, count = self._clamp_range(header, DB_BINARY_POINTS)
+        if count == 0:
+            return b""
+        out = codec.object_header(
+            1, 1, codec.QC_START_STOP_8,
+            bytes((start, start + count - 1)))
+        bits = bytearray((count + 7) // 8)
+        for i in range(count):
+            if (start + i) % 3 == 0:  # deterministic pattern
+                bits[i // 8] |= 1 << (i % 8)
+        return out + bytes(bits)
+
+    def _read_binary_outputs(self, header: dict) -> bytes:
+        start, count = self._clamp_range(header, DB_BINARY_POINTS)
+        if count == 0:
+            return b""
+        out = codec.object_header(
+            10, 2, codec.QC_START_STOP_8,
+            bytes((start, start + count - 1)))
+        return out + bytes(0x01 for _ in range(count))
+
+    def _read_counters(self, header: dict) -> bytes:
+        start, count = self._clamp_range(header, DB_COUNTER_POINTS)
+        if count == 0:
+            return b""
+        out = codec.object_header(
+            20, 1, codec.QC_START_STOP_8,
+            bytes((start, start + count - 1)))
+        body = bytearray()
+        for i in range(count):
+            body += bytes((0x01,))  # flags
+            body += ((start + i) * 100).to_bytes(4, "little")
+        return out + bytes(body)
+
+    def _read_analogs(self, header: dict) -> bytes:
+        start, count = self._clamp_range(header, DB_ANALOG_POINTS)
+        if count == 0:
+            return b""
+        out = codec.object_header(
+            30, 2, codec.QC_START_STOP_8,
+            bytes((start, start + count - 1)))
+        body = bytearray()
+        for i in range(count):
+            body += bytes((0x01,))  # flags
+            body += ((start + i) * 10 + 3).to_bytes(2, "little")
+        return out + bytes(body)
+
+    @staticmethod
+    def _clamp_range(header: dict, db_size: int) -> Tuple[int, int]:
+        start = header.get("start", 0)
+        count = header.get("count", 0)
+        if header.get("qualifier") == codec.QC_ALL:
+            return 0, db_size
+        if start >= db_size:
+            return 0, 0
+        return start, min(count, db_size - start)
+
+    def _handle_write(self, heap: SimHeap, objects: bytes) -> int:
+        headers = self._parse_headers(heap, objects)
+        if headers is None or not headers:
+            return codec.IIN2_PARAMETER_ERROR
+        iin2 = 0
+        for header in headers:
+            if header.get("unknown_object"):
+                iin2 |= codec.IIN2_OBJECT_UNKNOWN
+                continue
+            group, variation = header["group"], header["variation"]
+            if (group, variation) == (50, 1):
+                if header["count"] != 1:
+                    iin2 |= codec.IIN2_PARAMETER_ERROR
+                    continue
+                time_bytes = objects[header["data_pos"]:
+                                     header["data_pos"] + 6]
+                _timestamp = int.from_bytes(time_bytes, "little")
+            elif (group, variation) == (80, 1):
+                if header.get("start") == 7:
+                    self.restart_iin = False  # clear restart IIN
+                else:
+                    iin2 |= codec.IIN2_PARAMETER_ERROR
+            else:
+                iin2 |= codec.IIN2_OBJECT_UNKNOWN
+        return iin2
+
+    def _handle_control(self, heap: SimHeap, objects: bytes,
+                        function: int) -> Tuple[bytes, int]:
+        headers = self._parse_headers(heap, objects)
+        if headers is None or not headers:
+            return b"", codec.IIN2_PARAMETER_ERROR
+        body = bytearray()
+        iin2 = 0
+        for header in headers:
+            if header.get("unknown_object"):
+                iin2 |= codec.IIN2_OBJECT_UNKNOWN
+                continue
+            group, variation = header["group"], header["variation"]
+            if header["qualifier"] not in (codec.QC_INDEX_8,
+                                           codec.QC_INDEX_16):
+                iin2 |= codec.IIN2_PARAMETER_ERROR
+                continue
+            if group == 12 and variation == 1:
+                echoed, status = self._control_crob(heap, objects, header,
+                                                    function)
+                body += echoed
+                if status:
+                    iin2 |= codec.IIN2_PARAMETER_ERROR
+            elif group == 41:
+                echoed, status = self._control_analog(heap, objects, header,
+                                                      function)
+                body += echoed
+                if status:
+                    iin2 |= codec.IIN2_PARAMETER_ERROR
+            else:
+                iin2 |= codec.IIN2_OBJECT_UNKNOWN
+        return bytes(body), iin2
+
+    def _control_crob(self, heap: SimHeap, objects: bytes, header: dict,
+                      function: int) -> Tuple[bytes, int]:
+        width = header["index_width"]
+        size = 11
+        pos = header["data_pos"]
+        status_out = 0
+        echoed = bytearray(codec.object_header(
+            12, 1, header["qualifier"],
+            header["count"].to_bytes(width, "little")))
+        for _ in range(header["count"]):
+            index = int.from_bytes(objects[pos:pos + width], "little")
+            record = objects[pos + width:pos + width + size]
+            pos += width + size
+            code = record[0]
+            op_type = code & 0x0F
+            if index >= DB_BINARY_POINTS:
+                status = 4  # NOT_SUPPORTED
+            elif op_type not in (1, 2, 3, 4):
+                status = 3  # FORMAT_ERROR
+            elif function == codec.FC_OPERATE and self.selected != \
+                    (12, index):
+                status = 2  # NO_SELECT
+            else:
+                status = 0
+                if function == codec.FC_SELECT:
+                    self.selected = (12, index)
+            if status:
+                status_out = 1
+            echoed += index.to_bytes(width, "little")
+            echoed += record[:10] + bytes((status,))
+        return bytes(echoed), status_out
+
+    def _control_analog(self, heap: SimHeap, objects: bytes, header: dict,
+                        function: int) -> Tuple[bytes, int]:
+        width = header["index_width"]
+        size = self._object_size(41, header["variation"]) or 3
+        pos = header["data_pos"]
+        status_out = 0
+        echoed = bytearray(codec.object_header(
+            41, header["variation"], header["qualifier"],
+            header["count"].to_bytes(width, "little")))
+        for _ in range(header["count"]):
+            index = int.from_bytes(objects[pos:pos + width], "little")
+            record = objects[pos + width:pos + width + size]
+            pos += width + size
+            if index >= DB_ANALOG_POINTS:
+                status = 4
+            elif function == codec.FC_OPERATE and self.selected != \
+                    (41, index):
+                status = 2
+            else:
+                status = 0
+                if function == codec.FC_SELECT:
+                    self.selected = (41, index)
+            if status:
+                status_out = 1
+            echoed += index.to_bytes(width, "little")
+            echoed += record[:size - 1] + bytes((status,))
+        return bytes(echoed), status_out
+
+    def _handle_freeze(self, heap: SimHeap, objects: bytes) -> int:
+        headers = self._parse_headers(heap, objects)
+        if headers is None or not headers:
+            return codec.IIN2_PARAMETER_ERROR
+        iin2 = 0
+        for header in headers:
+            if header.get("unknown_object") or header["group"] != 20:
+                iin2 |= codec.IIN2_OBJECT_UNKNOWN
+        return iin2
+
+    # ------------------------------------------------------------------
+    # response assembly
+    # ------------------------------------------------------------------
+
+    def _respond(self, iin: int, body: bytes, src: int) -> bytes:
+        app = bytes((0xC0 | self.app_seq, codec.FC_RESPONSE,
+                     (iin >> 8) & 0xFF, iin & 0xFF)) + body
+        transport = bytes((codec.TRANSPORT_FIN | codec.TRANSPORT_FIR,))
+        user_data = transport + app
+        logical = codec.build_link_header(
+            5 + len(user_data), 0x44, src, LOCAL_ADDRESS) + user_data
+        return codec.add_crcs(logical)

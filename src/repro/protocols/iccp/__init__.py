@@ -1,0 +1,13 @@
+"""libiec_iccp_mod-analog target: TASE.2/ICCP server, codec and pit."""
+
+from repro.protocols.iccp.codec import (
+    build_associate, build_info_report, build_read, build_tpkt_cotp,
+    build_write,
+)
+from repro.protocols.iccp.model import make_pit
+from repro.protocols.iccp.server import IccpServer
+
+__all__ = [
+    "IccpServer", "build_associate", "build_info_report", "build_read",
+    "build_tpkt_cotp", "build_write", "make_pit",
+]

@@ -1,0 +1,92 @@
+"""libiec_iccp_mod-analog codec: TASE.2 (ICCP) over MMS-lite.
+
+ICCP/TASE.2 reuses the MMS session (TPKT/COTP/BER) but adds its own
+object vocabulary: bilateral tables, transfer sets, data values and
+information messages.  Like the real ``libiec_iccp_mod`` fork, the
+framing code here is an independent copy rather than a shared library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.common.ber import (
+    encode_integer, encode_tlv, encode_visible_string,
+)
+
+TPKT_VERSION = 3
+COTP_DT = 0xF0
+COTP_EOT = 0x80
+
+# MMS PDU tags (subset used by TASE.2)
+MMS_CONFIRMED_REQUEST = 0xA0
+MMS_CONFIRMED_RESPONSE = 0xA1
+MMS_CONFIRMED_ERROR = 0xA2
+MMS_UNCONFIRMED = 0xA3       # information reports travel unconfirmed
+MMS_INITIATE_REQUEST = 0xA8
+MMS_INITIATE_RESPONSE = 0xA9
+
+# service tags
+SVC_READ = 0xA4
+SVC_WRITE = 0xA5
+SVC_INFO_REPORT = 0xA0       # within an unconfirmed PDU
+
+# inner TLV tags
+TAG_NAME = 0x1A              # VisibleString object name
+TAG_INDEX = 0x82             # alternate-access element index
+TAG_DATA_OCTETS = 0x89       # octet-string data value content
+TAG_INFO_REF = 0x85          # information message reference
+TAG_LOCAL_REF = 0x86
+TAG_MSG_ID = 0x87
+TAG_CONTENT = 0x88
+
+BILATERAL_TABLE_ID = "BLT-1"
+
+TRANSFER_SETS = ("TSet_1", "TSet_2", "TSet_3", "TSet_4")
+DATA_VALUES = ("DV_A", "DV_B", "DV_C", "DV_D", "DV_E", "DV_F")
+
+
+def build_tpkt_cotp(payload: bytes) -> bytes:
+    """Wrap an MMS payload in COTP DT + TPKT."""
+    cotp = bytes((2, COTP_DT, COTP_EOT))
+    total = 4 + len(cotp) + len(payload)
+    return bytes((TPKT_VERSION, 0)) + total.to_bytes(2, "big") + cotp + payload
+
+
+def build_associate(bilateral_table: str = BILATERAL_TABLE_ID) -> bytes:
+    """TASE.2 associate: initiate-request carrying the bilateral table id."""
+    body = encode_visible_string(bilateral_table, tag=0x80)
+    return build_tpkt_cotp(encode_tlv(MMS_INITIATE_REQUEST, body))
+
+
+def build_read(invoke_id: int, name: str,
+               index: Optional[int] = None) -> bytes:
+    """Read of a transfer set or data value, optionally element-indexed."""
+    body = encode_visible_string(name, tag=TAG_NAME)
+    if index is not None:
+        body += encode_tlv(TAG_INDEX, index.to_bytes(2, "big"))
+    service = encode_tlv(SVC_READ, body)
+    pdu = encode_tlv(MMS_CONFIRMED_REQUEST,
+                     encode_integer(invoke_id) + service)
+    return build_tpkt_cotp(pdu)
+
+
+def build_write(invoke_id: int, name: str, data: bytes) -> bytes:
+    """Write of a data value's octets."""
+    body = (encode_visible_string(name, tag=TAG_NAME)
+            + encode_tlv(TAG_DATA_OCTETS, data))
+    service = encode_tlv(SVC_WRITE, body)
+    pdu = encode_tlv(MMS_CONFIRMED_REQUEST,
+                     encode_integer(invoke_id) + service)
+    return build_tpkt_cotp(pdu)
+
+
+def build_info_report(info_ref: int, local_ref: int, msg_id: int,
+                      content: bytes) -> bytes:
+    """Information message: unconfirmed PDU with reference numbers."""
+    body = (encode_tlv(TAG_INFO_REF, info_ref.to_bytes(2, "big"))
+            + encode_tlv(TAG_LOCAL_REF, local_ref.to_bytes(2, "big"))
+            + encode_tlv(TAG_MSG_ID, msg_id.to_bytes(2, "big"))
+            + encode_tlv(TAG_CONTENT, content))
+    service = encode_tlv(SVC_INFO_REPORT, body)
+    return build_tpkt_cotp(encode_tlv(MMS_UNCONFIRMED, service))

@@ -1,0 +1,151 @@
+"""Peach pit for the libiec_iccp_mod target.
+
+Models for associate, transfer-set / data-value reads, data-value writes
+and information messages.  Object-name chunks share the ``object_name``
+semantic across models, and reference numbers share ``reference`` — the
+cross-model donor routes for this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.model import (
+    Blob, Block, DataModel, Field, Number, Pit, Str, size_of,
+)
+from repro.protocols.iccp import codec
+
+
+def _tlv(prefix: str, tag: int, content: Sequence[Field], *,
+         tag_semantic: str = "ber_tag") -> List[Field]:
+    block = Block(f"{prefix}_content", list(content))
+    return [
+        Number(f"{prefix}_tag", 1, default=tag, token=True,
+               semantic=tag_semantic),
+        size_of(Number(f"{prefix}_len", 1, semantic="ber_length"),
+                f"{prefix}_content"),
+        block,
+    ]
+
+
+def _name_tlv(prefix: str, default: str) -> List[Field]:
+    return [
+        Number(f"{prefix}_tag", 1, default=codec.TAG_NAME, token=True,
+               semantic="name_tag"),
+        size_of(Number(f"{prefix}_len", 1, semantic="ber_length"),
+                f"{prefix}_value"),
+        Str(f"{prefix}_value", default=default, semantic="object_name"),
+    ]
+
+
+def _ref_tlv(prefix: str, tag: int, default: int) -> List[Field]:
+    return [
+        Number(f"{prefix}_tag", 1, default=tag, token=True,
+               semantic="ref_tag"),
+        Number(f"{prefix}_len", 1, default=2, token=True,
+               semantic="ber_length"),
+        Number(f"{prefix}_value", 2, default=default, semantic="reference"),
+    ]
+
+
+def _invoke() -> List[Field]:
+    return [
+        Number("invoke_tag", 1, default=0x02, token=True,
+               semantic="invoke_tag"),
+        Number("invoke_len", 1, default=1, token=True,
+               semantic="ber_length"),
+        Number("invoke_value", 1, default=1, semantic="invoke_id"),
+    ]
+
+
+def _frame(name: str, mms_fields: Sequence[Field],
+           weight: float = 1.0) -> DataModel:
+    root = Block(f"{name}.frame", [
+        Number("tpkt_version", 1, default=codec.TPKT_VERSION, token=True,
+               semantic="tpkt_version"),
+        Number("tpkt_reserved", 1, default=0, semantic="tpkt_reserved"),
+        size_of(Number("tpkt_length", 2, semantic="tpkt_length"), "rest",
+                adjust=4),
+        Block("rest", [
+            Number("cotp_length", 1, default=2, token=True,
+                   semantic="cotp_length"),
+            Number("cotp_type", 1, default=codec.COTP_DT, token=True,
+                   semantic="cotp_type"),
+            Number("cotp_eot", 1, default=codec.COTP_EOT,
+                   semantic="cotp_eot"),
+            Block("mms", list(mms_fields)),
+        ]),
+    ])
+    return DataModel(f"iccp.{name}", root, weight=weight)
+
+
+def _confirmed(name: str, service_tag: int, service_fields: Sequence[Field],
+               weight: float = 1.0) -> DataModel:
+    service = _tlv("svc", service_tag, service_fields,
+                   tag_semantic="service_tag")
+    pdu = _tlv("pdu", codec.MMS_CONFIRMED_REQUEST, _invoke() + service,
+               tag_semantic="pdu_tag")
+    return _frame(name, pdu, weight=weight)
+
+
+def make_pit() -> Pit:
+    """Build the libiec_iccp_mod pit (8 data models)."""
+    models = [
+        _frame("associate", _tlv(
+            "pdu", codec.MMS_INITIATE_REQUEST,
+            [Number("blt_tag", 1, default=0x80, token=True,
+                    semantic="blt_tag"),
+             size_of(Number("blt_len", 1, semantic="ber_length"),
+                     "blt_value"),
+             Str("blt_value", default=codec.BILATERAL_TABLE_ID,
+                 semantic="bilateral_table")],
+            tag_semantic="pdu_tag"), weight=0.6),
+        _confirmed("read_transfer_set", codec.SVC_READ,
+                   _name_tlv("name", codec.TRANSFER_SETS[0])),
+        _confirmed("read_data_value", codec.SVC_READ,
+                   _name_tlv("name", codec.DATA_VALUES[0])),
+        _confirmed("read_data_value_indexed", codec.SVC_READ,
+                   _name_tlv("name", codec.DATA_VALUES[0]) + [
+                       Number("index_tag", 1, default=codec.TAG_INDEX,
+                              token=True, semantic="index_tag"),
+                       Number("index_len", 1, default=2, token=True,
+                              semantic="ber_length"),
+                       Number("index_value", 2, default=0,
+                              semantic="element_index"),
+                   ]),
+        _confirmed("write_data_value", codec.SVC_WRITE,
+                   _name_tlv("name", codec.DATA_VALUES[1]) + [
+                       Number("data_tag", 1,
+                              default=codec.TAG_DATA_OCTETS, token=True,
+                              semantic="data_tag"),
+                       size_of(Number("data_len", 1,
+                                      semantic="ber_length"),
+                               "data_value"),
+                       Blob("data_value", default=b"\x10\x20\x30\x40",
+                            max_length=96, semantic="dv_octets"),
+                   ]),
+        _frame("info_report", _tlv(
+            "pdu", codec.MMS_UNCONFIRMED,
+            _tlv("svc", codec.SVC_INFO_REPORT,
+                 _ref_tlv("info_ref", codec.TAG_INFO_REF, 1)
+                 + _ref_tlv("local_ref", codec.TAG_LOCAL_REF, 1)
+                 + _ref_tlv("msg_id", codec.TAG_MSG_ID, 1)
+                 + [Number("content_tag", 1, default=codec.TAG_CONTENT,
+                           token=True, semantic="content_tag"),
+                    size_of(Number("content_len", 1,
+                                   semantic="ber_length"),
+                            "content_value"),
+                    Blob("content_value", default=b"alarm",
+                         max_length=48, semantic="im_content")],
+                 tag_semantic="service_tag"),
+            tag_semantic="pdu_tag")),
+        _confirmed("read_next_set", codec.SVC_READ,
+                   _name_tlv("name", "Next_DSTransfer_Set"), weight=0.5),
+        # coarse model: raw MMS payload behind valid framing
+        _frame("raw_mms", [
+            Blob("mms_blob", default=bytes((0xA0, 0x05, 0x02, 0x01, 0x01,
+                                            0xA4, 0x00)),
+                 max_length=64, semantic="raw_mms"),
+        ], weight=0.6),
+    ]
+    return Pit("iccp", models)

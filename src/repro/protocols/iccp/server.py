@@ -1,0 +1,324 @@
+"""libiec_iccp_mod-analog server: TASE.2 endpoint with four seeded bugs.
+
+The fuzzed target for the paper's ``libiec iccp mod`` row.  It implements
+the TASE.2 packet-processing path: TPKT/COTP validation, MMS PDU
+demultiplexing, bilateral-table association, transfer-set and data-value
+reads/writes, and unconfirmed information messages.
+
+Four vulnerabilities are seeded, matching Table I's libiec_iccp_mod row
+(3 × SEGV + 1 × heap-buffer-overflow):
+
+* ``iccp_im.c:im_lookup`` — SEGV: an information message's reference
+  number indexes the subscription table after only a lax sanity bound.
+* ``tase2_ts.c:ts_name_tail`` — SEGV: the read path classifies a name by
+  its *last* character before checking the name is non-empty
+  (``name[len - 1]`` with ``len == 0``).
+* ``iccp_dv.c:dv_element`` — SEGV: an element-indexed data-value read
+  computes the element address straight from the packet index.
+* ``iccp_dv.c:dv_write_copy`` — heap-buffer-overflow: a data-value write
+  memcpy's the declared-length payload into the fixed 64-byte entry
+  buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.protocols.common.ber import encode_integer, encode_tlv
+from repro.protocols.iccp import codec
+from repro.runtime.target import ProtocolServer
+from repro.sanitizer.heap import Pointer, SimHeap
+
+IM_TABLE_ENTRIES = 32
+IM_ENTRY_SIZE = 8
+IM_REF_SANITY_BOUND = 1024   # the (insufficient) check the C code kept
+DV_ENTRY_SIZE = 64
+DV_ELEMENT_SIZE = 16
+DV_ELEMENTS = 4
+
+
+class IccpServer(ProtocolServer):
+    """TASE.2 server with libiec_iccp_mod control flow."""
+
+    name = "libiec_iccp_mod"
+
+    def __init__(self):
+        self.associated = True
+        self.dv_store = {name: b"\x00" * DV_ENTRY_SIZE
+                         for name in codec.DATA_VALUES}
+
+    def reset(self) -> None:
+        self.associated = True
+        self.dv_store = {name: b"\x00" * DV_ENTRY_SIZE
+                         for name in codec.DATA_VALUES}
+
+    # ------------------------------------------------------------------
+    # framing (independent copy, like the real fork)
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, heap: SimHeap, data: bytes) -> Optional[bytes]:
+        if len(data) < 7:
+            return None
+        frame = heap.malloc_from(data, "tpkt-frame")
+        if heap.read_u8(frame, 0, "iso_conn.c:tpkt_version") != \
+                codec.TPKT_VERSION:
+            return None
+        if heap.read_u16(frame, 2, "iso_conn.c:tpkt_length") != len(data):
+            return None
+        cotp_len = heap.read_u8(frame, 4, "iso_conn.c:cotp_length")
+        if cotp_len < 2 or 5 + cotp_len > len(data):
+            return None
+        if heap.read_u8(frame, 5, "iso_conn.c:cotp_type") != codec.COTP_DT:
+            return None
+        offset = 5 + cotp_len
+        size = len(data) - offset
+        if size < 2:
+            return None
+        mms = heap.malloc_from(
+            heap.read(frame, offset, size, "iso_conn.c:payload_copy"),
+            "mms-pdu")
+        return self._handle_mms(heap, mms, size)
+
+    def _read_tlv(self, heap: SimHeap, buf: Pointer, pos: int, end: int,
+                  site: str) -> Optional[Tuple[int, int, int]]:
+        """C-style TLV header read: (tag, length, value_pos) or None."""
+        if pos + 2 > end:
+            return None
+        tag = heap.read_u8(buf, pos, site)
+        first = heap.read_u8(buf, pos + 1, site)
+        value_pos = pos + 2
+        if first >= 0x80:
+            count = first & 0x7F
+            if count == 0 or count > 2 or value_pos + count > end:
+                return None
+            first = 0
+            for index in range(count):
+                first = (first << 8) | heap.read_u8(buf, value_pos + index,
+                                                    site)
+            value_pos += count
+        if value_pos + first > end:
+            return None
+        return tag, first, value_pos
+
+    # ------------------------------------------------------------------
+    # MMS dispatch
+    # ------------------------------------------------------------------
+
+    def _handle_mms(self, heap: SimHeap, mms: Pointer,
+                    size: int) -> Optional[bytes]:
+        header = self._read_tlv(heap, mms, 0, size, "mms_conn.c:pdu_tag")
+        if header is None:
+            return None
+        tag, length, value_pos = header
+        end = value_pos + length
+        if tag == codec.MMS_INITIATE_REQUEST:
+            return self._associate(heap, mms, value_pos, end)
+        if tag == codec.MMS_CONFIRMED_REQUEST:
+            return self._confirmed(heap, mms, value_pos, end)
+        if tag == codec.MMS_UNCONFIRMED:
+            return self._unconfirmed(heap, mms, value_pos, end)
+        return None
+
+    def _associate(self, heap: SimHeap, mms: Pointer, pos: int,
+                   end: int) -> Optional[bytes]:
+        header = self._read_tlv(heap, mms, pos, end, "tase2_assoc.c:blt_tag")
+        if header is None or header[0] != 0x80:
+            return self._error_pdu(0, 1)
+        _, length, value_pos = header
+        if length > 32:
+            return self._error_pdu(0, 1)
+        blt = bytes(heap.read_u8(mms, value_pos + i, "tase2_assoc.c:blt_char")
+                    for i in range(length)).decode("latin-1")
+        if blt != codec.BILATERAL_TABLE_ID:
+            self.associated = False
+            return self._error_pdu(0, 2)  # bilateral table mismatch
+        self.associated = True
+        body = encode_integer(1, tag=0x80)
+        return codec.build_tpkt_cotp(
+            encode_tlv(codec.MMS_INITIATE_RESPONSE, body))
+
+    def _confirmed(self, heap: SimHeap, mms: Pointer, pos: int,
+                   end: int) -> Optional[bytes]:
+        if not self.associated:
+            return self._error_pdu(0, 2)
+        invoke = self._read_tlv(heap, mms, pos, end, "mms_conn.c:invoke_id")
+        if invoke is None or invoke[0] != 0x02 or not 1 <= invoke[1] <= 4:
+            return self._error_pdu(0, 3)
+        invoke_id = 0
+        for index in range(invoke[1]):
+            invoke_id = (invoke_id << 8) | heap.read_u8(
+                mms, invoke[2] + index, "mms_conn.c:invoke_value")
+        pos = invoke[2] + invoke[1]
+        service = self._read_tlv(heap, mms, pos, end,
+                                 "mms_conn.c:service_tag")
+        if service is None:
+            return self._error_pdu(invoke_id, 3)
+        tag, svc_len, svc_pos = service
+        svc_end = svc_pos + svc_len
+        if tag == codec.SVC_READ:
+            return self._read_service(heap, mms, svc_pos, svc_end, invoke_id)
+        if tag == codec.SVC_WRITE:
+            return self._write_service(heap, mms, svc_pos, svc_end,
+                                       invoke_id)
+        return self._error_pdu(invoke_id, 1)
+
+    # ------------------------------------------------------------------
+    # read path (transfer sets + data values)  [SEGV #2 and #3]
+    # ------------------------------------------------------------------
+
+    def _read_service(self, heap: SimHeap, mms: Pointer, pos: int, end: int,
+                      invoke_id: int) -> Optional[bytes]:
+        name_header = self._read_tlv(heap, mms, pos, end,
+                                     "tase2_ts.c:name_tag")
+        if name_header is None or name_header[0] != codec.TAG_NAME:
+            return self._error_pdu(invoke_id, 4)
+        _, name_len, name_pos = name_header
+        if name_len > 32:
+            return self._error_pdu(invoke_id, 4)
+        # copy the name into its own buffer, as the C code does
+        name_buf = heap.malloc(name_len, "object-name")
+        for index in range(name_len):
+            heap.write_u8(name_buf, index,
+                          heap.read_u8(mms, name_pos + index,
+                                       "tase2_ts.c:name_copy"),
+                          "tase2_ts.c:name_copy")
+        # SEEDED BUG (libiec_iccp_mod row, SEGV #2): classify the object by
+        # its trailing character *before* checking the name is non-empty —
+        # name[len - 1] with len == 0 dereferences one byte before the
+        # allocation.
+        tail = heap.deref_read(name_buf.address + name_len - 1, 1,
+                               "tase2_ts.c:ts_name_tail")[0]
+        name = "".join(chr(heap.read_u8(name_buf, i, "tase2_ts.c:name_use"))
+                       for i in range(name_len))
+        if name in codec.TRANSFER_SETS:
+            return self._read_transfer_set(invoke_id, name, tail)
+        if name in codec.DATA_VALUES:
+            return self._read_data_value(heap, mms, name_pos + name_len,
+                                         end, invoke_id, name)
+        return self._error_pdu(invoke_id, 5)
+
+    def _read_transfer_set(self, invoke_id: int, name: str,
+                           tail: int) -> bytes:
+        index = tail - ord("0")  # trailing digit selects the set
+        status = 1 if 1 <= index <= len(codec.TRANSFER_SETS) else 0
+        body = (encode_tlv(0x80, bytes((status,)))
+                + encode_tlv(0x81, name.encode("latin-1"))
+                + encode_integer(30, tag=0x82))  # interval
+        service = encode_tlv(codec.SVC_READ, body)
+        return self._response_pdu(invoke_id, service)
+
+    def _read_data_value(self, heap: SimHeap, mms: Pointer, pos: int,
+                         end: int, invoke_id: int,
+                         name: str) -> Optional[bytes]:
+        stored = self.dv_store[name]
+        entry = heap.malloc_from(stored, "dv-entry")
+        index_header = self._read_tlv(heap, mms, pos, end,
+                                      "iccp_dv.c:index_tag")
+        if index_header is not None and index_header[0] == codec.TAG_INDEX \
+                and index_header[1] == 2:
+            element_index = heap.read_u16(mms, index_header[2],
+                                          "iccp_dv.c:index_value")
+            # SEEDED BUG (libiec_iccp_mod row, SEGV #3): the element address
+            # is computed straight from the packet-supplied index; only
+            # indices 0..3 are inside the 64-byte entry.
+            element_addr = entry.address + element_index * DV_ELEMENT_SIZE
+            element = bytes(
+                heap.deref_read(element_addr + i, 1, "iccp_dv.c:dv_element")[0]
+                for i in range(DV_ELEMENT_SIZE))
+        else:
+            element = heap.read(entry, 0, DV_ELEMENT_SIZE,
+                                "iccp_dv.c:dv_read_first")
+        body = (encode_tlv(0x81, name.encode("latin-1"))
+                + encode_tlv(codec.TAG_DATA_OCTETS, element))
+        service = encode_tlv(codec.SVC_READ, body)
+        return self._response_pdu(invoke_id, service)
+
+    # ------------------------------------------------------------------
+    # write path  [heap-buffer-overflow]
+    # ------------------------------------------------------------------
+
+    def _write_service(self, heap: SimHeap, mms: Pointer, pos: int, end: int,
+                       invoke_id: int) -> Optional[bytes]:
+        name_header = self._read_tlv(heap, mms, pos, end,
+                                     "iccp_dv.c:write_name_tag")
+        if name_header is None or name_header[0] != codec.TAG_NAME:
+            return self._error_pdu(invoke_id, 4)
+        _, name_len, name_pos = name_header
+        if name_len == 0 or name_len > 32:
+            return self._error_pdu(invoke_id, 4)
+        name = bytes(heap.read_u8(mms, name_pos + i,
+                                  "iccp_dv.c:write_name_char")
+                     for i in range(name_len)).decode("latin-1")
+        if name not in self.dv_store:
+            return self._error_pdu(invoke_id, 5)
+        data_header = self._read_tlv(heap, mms, name_pos + name_len, end,
+                                     "iccp_dv.c:write_data_tag")
+        if data_header is None or data_header[0] != codec.TAG_DATA_OCTETS:
+            return self._error_pdu(invoke_id, 4)
+        _, data_len, data_pos = data_header
+        payload = heap.read(mms, data_pos, data_len,
+                            "iccp_dv.c:write_payload")
+        # SEEDED BUG (libiec_iccp_mod row, heap-buffer-overflow): the entry
+        # buffer is a fixed 64 bytes but the copy uses the declared length.
+        entry = heap.malloc(DV_ENTRY_SIZE, "dv-entry")
+        heap.write(entry, 0, payload, "iccp_dv.c:dv_write_copy")
+        self.dv_store[name] = (payload + b"\x00" * DV_ENTRY_SIZE)[
+            :DV_ENTRY_SIZE]
+        body = encode_tlv(0x81, b"")
+        service = encode_tlv(codec.SVC_WRITE, body)
+        return self._response_pdu(invoke_id, service)
+
+    # ------------------------------------------------------------------
+    # information messages  [SEGV #1]
+    # ------------------------------------------------------------------
+
+    def _unconfirmed(self, heap: SimHeap, mms: Pointer, pos: int,
+                     end: int) -> Optional[bytes]:
+        service = self._read_tlv(heap, mms, pos, end, "iccp_im.c:service")
+        if service is None or service[0] != codec.SVC_INFO_REPORT:
+            return None
+        svc_pos, svc_end = service[2], service[2] + service[1]
+        refs = {}
+        cursor = svc_pos
+        while cursor < svc_end:
+            field = self._read_tlv(heap, mms, cursor, svc_end,
+                                   "iccp_im.c:field")
+            if field is None:
+                return None
+            tag, length, value_pos = field
+            if tag in (codec.TAG_INFO_REF, codec.TAG_LOCAL_REF,
+                       codec.TAG_MSG_ID) and length == 2:
+                refs[tag] = heap.read_u16(mms, value_pos,
+                                          "iccp_im.c:ref_value")
+            elif tag == codec.TAG_CONTENT:
+                refs[tag] = heap.read(mms, value_pos, length,
+                                      "iccp_im.c:content")
+            cursor = value_pos + length
+        if codec.TAG_INFO_REF not in refs or codec.TAG_CONTENT not in refs:
+            return None
+        info_ref = refs[codec.TAG_INFO_REF]
+        if info_ref >= IM_REF_SANITY_BOUND:
+            return None  # the sanity check the C code *did* have
+        table = heap.malloc(IM_TABLE_ENTRIES * IM_ENTRY_SIZE, "im-table")
+        # SEEDED BUG (libiec_iccp_mod row, SEGV #1): refs 32..1023 pass the
+        # sanity bound but index past the 32-entry subscription table.
+        entry_addr = table.address + info_ref * IM_ENTRY_SIZE
+        flags = heap.deref_read(entry_addr, 1, "iccp_im.c:im_lookup")[0]
+        if flags & 0x01:
+            return None  # subscription disabled
+        return None  # information messages are not acknowledged
+
+    # ------------------------------------------------------------------
+    # response assembly
+    # ------------------------------------------------------------------
+
+    def _response_pdu(self, invoke_id: int, service: bytes) -> bytes:
+        pdu = encode_tlv(codec.MMS_CONFIRMED_RESPONSE,
+                         encode_integer(invoke_id) + service)
+        return codec.build_tpkt_cotp(pdu)
+
+    def _error_pdu(self, invoke_id: int, code: int) -> bytes:
+        pdu = encode_tlv(codec.MMS_CONFIRMED_ERROR,
+                         encode_integer(invoke_id)
+                         + encode_tlv(0x80, bytes((code,))))
+        return codec.build_tpkt_cotp(pdu)

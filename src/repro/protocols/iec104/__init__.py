@@ -1,0 +1,12 @@
+"""IEC104-analog target: minimal IEC 60870-5-104 slave, codec and pit."""
+
+from repro.protocols.iec104.codec import (
+    build_asdu, build_i_frame, build_s_frame, build_u_frame, frame_kind,
+)
+from repro.protocols.iec104.model import make_pit
+from repro.protocols.iec104.server import Iec104Server
+
+__all__ = [
+    "Iec104Server", "build_asdu", "build_i_frame", "build_s_frame",
+    "build_u_frame", "frame_kind", "make_pit",
+]

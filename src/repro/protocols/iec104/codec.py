@@ -1,0 +1,75 @@
+"""IEC 60870-5-104 APCI codec — safe helpers.
+
+Frame shapes (APCI = start byte 0x68, length, four control octets):
+
+* I-format: control octet 1 has bit0 = 0; carries send/recv sequence
+  numbers and an ASDU.
+* S-format: control octet 1 low bits = 0b01; supervisory ack.
+* U-format: control octet 1 low bits = 0b11; STARTDT/STOPDT/TESTFR.
+"""
+
+from __future__ import annotations
+
+START_BYTE = 0x68
+APCI_CONTROL_LEN = 4
+MIN_LENGTH = 4
+MAX_LENGTH = 253
+
+# U-frame function bits (control octet 1)
+U_STARTDT_ACT = 0x07
+U_STARTDT_CON = 0x0B
+U_STOPDT_ACT = 0x13
+U_STOPDT_CON = 0x23
+U_TESTFR_ACT = 0x43
+U_TESTFR_CON = 0x83
+
+# ASDU type ids handled by the simple implementation
+M_SP_NA_1 = 1
+C_SC_NA_1 = 45
+C_IC_NA_1 = 100
+C_CS_NA_1 = 103
+
+
+def build_u_frame(function: int) -> bytes:
+    """Build a U-format frame with *function* in control octet 1."""
+    return bytes((START_BYTE, MIN_LENGTH, function, 0x00, 0x00, 0x00))
+
+
+def build_s_frame(recv_seq: int) -> bytes:
+    """Build an S-format acknowledgement for *recv_seq*."""
+    ctrl3 = (recv_seq << 1) & 0xFF
+    ctrl4 = (recv_seq >> 7) & 0xFF
+    return bytes((START_BYTE, MIN_LENGTH, 0x01, 0x00, ctrl3, ctrl4))
+
+
+def build_i_frame(send_seq: int, recv_seq: int, asdu: bytes) -> bytes:
+    """Build an I-format frame wrapping *asdu*."""
+    length = APCI_CONTROL_LEN + len(asdu)
+    ctrl = bytes((
+        (send_seq << 1) & 0xFE,
+        (send_seq >> 7) & 0xFF,
+        (recv_seq << 1) & 0xFF,
+        (recv_seq >> 7) & 0xFF,
+    ))
+    return bytes((START_BYTE, length)) + ctrl + asdu
+
+
+def build_asdu(type_id: int, vsq: int, cot: int, ca: int,
+               ioa: int, payload: bytes = b"") -> bytes:
+    """Build the simple-profile ASDU used by the IEC104 project."""
+    return (bytes((type_id, vsq, cot, 0x00))
+            + ca.to_bytes(2, "little")
+            + ioa.to_bytes(3, "little")
+            + payload)
+
+
+def frame_kind(frame: bytes) -> str:
+    """Classify a frame as ``"I"``, ``"S"``, ``"U"`` or ``"invalid"``."""
+    if len(frame) < 6 or frame[0] != START_BYTE:
+        return "invalid"
+    ctrl1 = frame[2]
+    if ctrl1 & 0x01 == 0:
+        return "I"
+    if ctrl1 & 0x03 == 0x01:
+        return "S"
+    return "U"

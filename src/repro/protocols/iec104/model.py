@@ -1,0 +1,108 @@
+"""Peach pit for the IEC104 target.
+
+Data models for the three APCI formats plus one model per handled ASDU
+type.  The ASDU header rules (``type_id``, ``vsq``, ``cot``, ``ca``,
+``ioa``) carry the same semantic tags as the lib60870 pit — within the
+pit they are shared by every I-frame model, which is what the Packet
+Cracker exploits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.model import Blob, Block, DataModel, Number, Pit, size_of
+from repro.protocols.iec104 import codec
+
+
+def _apci_u(name: str, function: int) -> DataModel:
+    root = Block(f"{name}.frame", [
+        Number("start", 1, default=codec.START_BYTE, token=True,
+               semantic="start_byte"),
+        Number("length", 1, default=4, token=True, semantic="apci_length"),
+        Number("ctrl1", 1, default=function, token=True,
+               semantic="u_function"),
+        Number("ctrl2", 1, default=0, semantic="ctrl2"),
+        Number("ctrl3", 1, default=0, semantic="ctrl3"),
+        Number("ctrl4", 1, default=0, semantic="ctrl4"),
+    ])
+    return DataModel(f"iec104.{name}", root, weight=0.4)
+
+
+def _asdu_header(type_id: int) -> List:
+    """The shared ASDU header rules (paper Fig. 2a's common chunks)."""
+    return [
+        Number("type_id", 1, default=type_id, token=True,
+               semantic="type_id"),
+        Number("vsq", 1, default=1, semantic="vsq"),
+        Number("cot", 1, default=6, semantic="cot"),
+        Number("originator", 1, default=0, semantic="originator"),
+        Number("ca", 2, default=1, endian="little", semantic="ca"),
+        Number("ioa", 3, default=0, endian="little", semantic="ioa"),
+    ]
+
+
+def _i_frame(name: str, type_id: int, payload: Sequence,
+             weight: float = 1.0) -> DataModel:
+    children: List = list(_asdu_header(type_id))
+    children.extend(payload)
+    root = Block(f"{name}.frame", [
+        Number("start", 1, default=codec.START_BYTE, token=True,
+               semantic="start_byte"),
+        size_of(Number("length", 1, semantic="apci_length"), "body"),
+        Block("body", [
+            Number("send_seq_lo", 1, default=0, semantic="send_seq"),
+            Number("send_seq_hi", 1, default=0, semantic="send_seq_hi"),
+            Number("recv_seq_lo", 1, default=0, semantic="recv_seq"),
+            Number("recv_seq_hi", 1, default=0, semantic="recv_seq_hi"),
+            Block("asdu", children),
+        ]),
+    ])
+    return DataModel(f"iec104.{name}", root, weight=weight)
+
+
+def make_pit() -> Pit:
+    """Build the IEC104 pit (9 data models)."""
+    models = [
+        _apci_u("startdt", codec.U_STARTDT_ACT),
+        _apci_u("stopdt", codec.U_STOPDT_ACT),
+        _apci_u("testfr", codec.U_TESTFR_ACT),
+        DataModel("iec104.s_frame", Block("s_frame.frame", [
+            Number("start", 1, default=codec.START_BYTE, token=True,
+                   semantic="start_byte"),
+            Number("length", 1, default=4, token=True,
+                   semantic="apci_length"),
+            Number("ctrl1", 1, default=0x01, token=True,
+                   semantic="s_marker"),
+            Number("ctrl2", 1, default=0, semantic="ctrl2"),
+            Number("recv_seq_lo", 1, default=0, semantic="recv_seq"),
+            Number("recv_seq_hi", 1, default=0, semantic="recv_seq_hi"),
+        ]), weight=0.4),
+        _i_frame("interrogation", codec.C_IC_NA_1,
+                 [Number("qoi", 1, default=20, semantic="qoi")]),
+        _i_frame("single_command", codec.C_SC_NA_1,
+                 [Number("sco", 1, default=1, semantic="sco")]),
+        _i_frame("clock_sync", codec.C_CS_NA_1,
+                 [Blob("cp56time", default=b"\x00\x00\x00\x00\x01\x06\x26",
+                       length=7, semantic="cp56time")]),
+        _i_frame("single_point", codec.M_SP_NA_1,
+                 [Number("siq", 1, default=0, semantic="siq")]),
+        # coarse model: I-frame with opaque ASDU (supplies odd lengths)
+        _i_frame("raw_asdu", 0, [], weight=0.5),
+    ]
+    # The raw model needs a free-form ASDU: rebuild its asdu block as a blob.
+    raw_root = Block("raw_asdu.frame", [
+        Number("start", 1, default=codec.START_BYTE, token=True,
+               semantic="start_byte"),
+        size_of(Number("length", 1, semantic="apci_length"), "body"),
+        Block("body", [
+            Number("send_seq_lo", 1, default=0, semantic="send_seq"),
+            Number("send_seq_hi", 1, default=0, semantic="send_seq_hi"),
+            Number("recv_seq_lo", 1, default=0, semantic="recv_seq"),
+            Number("recv_seq_hi", 1, default=0, semantic="recv_seq_hi"),
+            Blob("asdu", default=b"\x64\x01\x06\x00\x01\x00\x00\x00\x00\x14",
+                 max_length=64, semantic="raw_asdu"),
+        ]),
+    ])
+    models[-1] = DataModel("iec104.raw_asdu", raw_root, weight=0.5)
+    return Pit("iec104", models)

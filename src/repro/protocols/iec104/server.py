@@ -1,0 +1,167 @@
+"""IEC104-analog server: the small IEC 60870-5-104 target.
+
+Models the simple open-source ``IEC104`` project the paper fuzzes: a
+compact state machine handling U/S/I frames with a shallow ASDU decoder
+covering interrogation, single command, clock sync and single-point
+telegrams.  Smallest code scale of the six targets — the paper's Fig. 4b
+shows only dozens of paths for it.  No vulnerabilities are seeded
+(Table I lists none for this project); every access is bounds-checked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.iec104 import codec
+from repro.runtime.target import ProtocolServer
+from repro.sanitizer.heap import SimHeap
+
+
+class Iec104Server(ProtocolServer):
+    """Minimal CS104 slave: STARTDT gating plus a shallow ASDU handler."""
+
+    name = "IEC104"
+
+    def __init__(self):
+        # The fuzzing harness models an established connection, so data
+        # transfer starts enabled (as if STARTDT was exchanged on connect);
+        # a STOPDT inside the same execution can still disable it.
+        self.started = True
+        self.recv_seq = 0
+        self.send_seq = 0
+
+    def reset(self) -> None:
+        self.started = True
+        self.recv_seq = 0
+        self.send_seq = 0
+
+    def handle_packet(self, heap: SimHeap, data: bytes) -> Optional[bytes]:
+        if len(data) < 6:
+            return None
+        frame = heap.malloc_from(data, "apci-frame")
+        start = heap.read_u8(frame, 0, "iec104.c:start_byte")
+        if start != codec.START_BYTE:
+            return None
+        length = heap.read_u8(frame, 1, "iec104.c:apci_length")
+        if length < codec.MIN_LENGTH or length > codec.MAX_LENGTH:
+            return None
+        if length + 2 != len(data):
+            return None
+        ctrl1 = heap.read_u8(frame, 2, "iec104.c:ctrl1")
+        if ctrl1 & 0x01 == 0:
+            return self._handle_i_frame(heap, frame, length)
+        if ctrl1 & 0x03 == 0x01:
+            return self._handle_s_frame(heap, frame)
+        return self._handle_u_frame(ctrl1)
+
+    # -- U-format ------------------------------------------------------------
+
+    def _handle_u_frame(self, ctrl1: int) -> Optional[bytes]:
+        if ctrl1 == codec.U_STARTDT_ACT:
+            self.started = True
+            return codec.build_u_frame(codec.U_STARTDT_CON)
+        if ctrl1 == codec.U_STOPDT_ACT:
+            self.started = False
+            return codec.build_u_frame(codec.U_STOPDT_CON)
+        if ctrl1 == codec.U_TESTFR_ACT:
+            return codec.build_u_frame(codec.U_TESTFR_CON)
+        if ctrl1 in (codec.U_STARTDT_CON, codec.U_STOPDT_CON,
+                     codec.U_TESTFR_CON):
+            return None  # confirmations are ignored by a slave
+        return None
+
+    # -- S-format ------------------------------------------------------------
+
+    def _handle_s_frame(self, heap: SimHeap, frame) -> Optional[bytes]:
+        ctrl3 = heap.read_u8(frame, 4, "iec104.c:s_recv_lo")
+        ctrl4 = heap.read_u8(frame, 5, "iec104.c:s_recv_hi")
+        acked = (ctrl4 << 7) | (ctrl3 >> 1)
+        if acked > self.send_seq:
+            return None  # ack beyond what we sent: ignored
+        return None
+
+    # -- I-format ------------------------------------------------------------
+
+    def _handle_i_frame(self, heap: SimHeap, frame,
+                        length: int) -> Optional[bytes]:
+        asdu_len = length - codec.APCI_CONTROL_LEN
+        if asdu_len < 6:
+            return None  # simple implementation drops short ASDUs safely
+        self.recv_seq = (self.recv_seq + 1) & 0x7FFF
+        type_id = heap.read_u8(frame, 6, "iec104.c:asdu_type")
+        vsq = heap.read_u8(frame, 7, "iec104.c:asdu_vsq")
+        cot = heap.read_u8(frame, 8, "iec104.c:asdu_cot") & 0x3F
+        ca = heap.read_u16(frame, 10, "iec104.c:asdu_ca", endian="little")
+        if ca == 0 or ca == 0xFFFF and type_id != codec.C_IC_NA_1:
+            return None  # broadcast only valid for interrogation
+        if type_id == codec.C_IC_NA_1:
+            return self._interrogation(heap, frame, asdu_len, cot, ca)
+        if type_id == codec.C_SC_NA_1:
+            return self._single_command(heap, frame, asdu_len, cot, ca)
+        if type_id == codec.C_CS_NA_1:
+            return self._clock_sync(heap, frame, asdu_len, cot, ca)
+        if type_id == codec.M_SP_NA_1:
+            return None  # monitored data from a peer: logged, no reply
+        return self._negative_confirm(type_id, vsq, ca)
+
+    def _interrogation(self, heap: SimHeap, frame, asdu_len: int,
+                       cot: int, ca: int) -> Optional[bytes]:
+        if not self.started:
+            return None
+        if cot != 6:  # activation
+            return None
+        if asdu_len < 10:
+            return None
+        qoi = heap.read_u8(frame, 15, "iec104.c:qoi")
+        if qoi != 20 and not 21 <= qoi <= 36:
+            return self._negative_confirm(codec.C_IC_NA_1, 1, ca)
+        # activation confirmation followed by one telegram
+        asdu = codec.build_asdu(codec.C_IC_NA_1, 1, 7, ca, 0,
+                                bytes((qoi,)))
+        response = codec.build_i_frame(self.send_seq, self.recv_seq, asdu)
+        self.send_seq = (self.send_seq + 1) & 0x7FFF
+        return response
+
+    def _single_command(self, heap: SimHeap, frame, asdu_len: int,
+                        cot: int, ca: int) -> Optional[bytes]:
+        if not self.started:
+            return None
+        if asdu_len < 10:
+            return None
+        if cot not in (6, 8):  # activation / deactivation
+            return None
+        sco = heap.read_u8(frame, 15, "iec104.c:sco")
+        select = bool(sco & 0x80)
+        asdu = codec.build_asdu(codec.C_SC_NA_1, 1, 7 if select else 10, ca,
+                                0, bytes((sco,)))
+        response = codec.build_i_frame(self.send_seq, self.recv_seq, asdu)
+        self.send_seq = (self.send_seq + 1) & 0x7FFF
+        return response
+
+    def _clock_sync(self, heap: SimHeap, frame, asdu_len: int,
+                    cot: int, ca: int) -> Optional[bytes]:
+        if cot != 6:
+            return None
+        if asdu_len < 16:
+            return None  # CP56Time2a needs 7 octets — checked, unlike lib60870
+        milliseconds = heap.read_u16(frame, 15, "iec104.c:cp56_ms",
+                                     endian="little")
+        minute = heap.read_u8(frame, 17, "iec104.c:cp56_min") & 0x3F
+        hour = heap.read_u8(frame, 18, "iec104.c:cp56_hour") & 0x1F
+        if minute > 59 or hour > 23 or milliseconds > 59_999:
+            return None
+        asdu = codec.build_asdu(codec.C_CS_NA_1, 1, 7, ca, 0,
+                                bytes(heap.read(frame, 15, 7,
+                                                "iec104.c:cp56_echo")))
+        response = codec.build_i_frame(self.send_seq, self.recv_seq, asdu)
+        self.send_seq = (self.send_seq + 1) & 0x7FFF
+        return response
+
+    def _negative_confirm(self, type_id: int, vsq: int,
+                          ca: int) -> Optional[bytes]:
+        if not self.started:
+            return None
+        asdu = codec.build_asdu(type_id, vsq, 44 | 0x40, ca, 0)
+        response = codec.build_i_frame(self.send_seq, self.recv_seq, asdu)
+        self.send_seq = (self.send_seq + 1) & 0x7FFF
+        return response

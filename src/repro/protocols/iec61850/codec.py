@@ -1,0 +1,136 @@
+"""libiec61850-analog codec: TPKT/COTP framing and MMS-lite PDUs.
+
+The MMS subset covered is what libiec61850's server actually demultiplexes
+on its hot path: initiate, conclude, and confirmed-request with the
+read / write / getNameList / getVariableAccessAttributes / identify /
+status services.  Object names follow the IEC 61850 mapping
+(``domain`` = logical device, ``item`` = LN$FC$DO$DA path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.protocols.common.ber import (
+    encode_integer, encode_tlv, encode_visible_string,
+)
+
+TPKT_VERSION = 3
+COTP_DT = 0xF0
+COTP_EOT = 0x80
+
+# MMS PDU tags
+MMS_CONFIRMED_REQUEST = 0xA0
+MMS_CONFIRMED_RESPONSE = 0xA1
+MMS_CONFIRMED_ERROR = 0xA2
+MMS_INITIATE_REQUEST = 0xA8
+MMS_INITIATE_RESPONSE = 0xA9
+MMS_CONCLUDE_REQUEST = 0x8B
+MMS_CONCLUDE_RESPONSE = 0x8C
+MMS_REJECT = 0xA4
+
+# confirmed-service tags (request)
+SVC_STATUS = 0x80
+SVC_GET_NAME_LIST = 0xA1
+SVC_IDENTIFY = 0x82
+SVC_READ = 0xA4
+SVC_WRITE = 0xA5
+SVC_GET_VAR_ATTRIBUTES = 0xA6
+
+# data tags (MMS Data CHOICE)
+DATA_STRUCTURE = 0xA2
+DATA_BOOLEAN = 0x83
+DATA_BIT_STRING = 0x84
+DATA_INTEGER = 0x85
+DATA_UNSIGNED = 0x86
+DATA_FLOAT = 0x87
+DATA_OCTET_STRING = 0x89
+DATA_VISIBLE_STRING = 0x8A
+DATA_UTC_TIME = 0x91
+
+
+def build_tpkt_cotp(payload: bytes) -> bytes:
+    """Wrap an MMS payload in COTP DT + TPKT."""
+    cotp = bytes((2, COTP_DT, COTP_EOT))
+    total = 4 + len(cotp) + len(payload)
+    return bytes((TPKT_VERSION, 0)) + total.to_bytes(2, "big") + cotp + payload
+
+
+def strip_tpkt_cotp(frame: bytes) -> bytes:
+    """Remove TPKT/COTP framing; raises ValueError on malformed frames."""
+    if len(frame) < 7:
+        raise ValueError("frame shorter than TPKT+COTP")
+    if frame[0] != TPKT_VERSION:
+        raise ValueError("bad TPKT version")
+    total = int.from_bytes(frame[2:4], "big")
+    if total != len(frame):
+        raise ValueError("TPKT length mismatch")
+    cotp_len = frame[4]
+    if cotp_len < 2 or 5 + cotp_len > len(frame):
+        raise ValueError("bad COTP length")
+    if frame[5] != COTP_DT:
+        raise ValueError("not a COTP DT PDU")
+    return frame[5 + cotp_len:]
+
+
+def object_name(domain: str, item: str) -> bytes:
+    """Domain-specific ObjectName: [1] { domainId, itemId }."""
+    inner = encode_visible_string(domain) + encode_visible_string(item)
+    return encode_tlv(0xA1, inner)
+
+
+def variable_spec(domain: str, item: str) -> bytes:
+    """One ListOfVariables entry: variableSpecification > name."""
+    return encode_tlv(0x30, encode_tlv(0xA0, object_name(domain, item)))
+
+
+def build_read_request(invoke_id: int, variables: List[Tuple[str, str]],
+                       ) -> bytes:
+    """Confirmed-request read with a listOfVariables access spec."""
+    var_list = b"".join(variable_spec(d, i) for d, i in variables)
+    spec = encode_tlv(0xA1, var_list)  # variableAccessSpecification
+    service = encode_tlv(SVC_READ, spec)
+    pdu = encode_tlv(MMS_CONFIRMED_REQUEST,
+                     encode_integer(invoke_id) + service)
+    return build_tpkt_cotp(pdu)
+
+
+def build_write_request(invoke_id: int, domain: str, item: str,
+                        data: bytes) -> bytes:
+    """Confirmed-request write of one variable with BER-encoded *data*."""
+    spec = encode_tlv(0xA1, variable_spec(domain, item))
+    payload = spec + encode_tlv(0xA0, data)  # listOfData
+    service = encode_tlv(SVC_WRITE, payload)
+    pdu = encode_tlv(MMS_CONFIRMED_REQUEST,
+                     encode_integer(invoke_id) + service)
+    return build_tpkt_cotp(pdu)
+
+
+def build_get_name_list(invoke_id: int, object_class: int,
+                        domain: Optional[str]) -> bytes:
+    """Confirmed-request getNameList (vmd scope when *domain* is None)."""
+    class_tlv = encode_tlv(0xA0, encode_tlv(0x80, bytes((object_class,))))
+    if domain is None:
+        scope = encode_tlv(0xA1, encode_tlv(0x80, b""))
+    else:
+        scope = encode_tlv(0xA1, encode_visible_string(domain, tag=0x81))
+    service = encode_tlv(SVC_GET_NAME_LIST, class_tlv + scope)
+    pdu = encode_tlv(MMS_CONFIRMED_REQUEST,
+                     encode_integer(invoke_id) + service)
+    return build_tpkt_cotp(pdu)
+
+
+def build_identify_request(invoke_id: int) -> bytes:
+    service = encode_tlv(SVC_IDENTIFY, b"")
+    pdu = encode_tlv(MMS_CONFIRMED_REQUEST,
+                     encode_integer(invoke_id) + service)
+    return build_tpkt_cotp(pdu)
+
+
+def build_initiate_request(max_pdu: int = 65000) -> bytes:
+    body = encode_integer(max_pdu, tag=0x80)
+    return build_tpkt_cotp(encode_tlv(MMS_INITIATE_REQUEST, body))
+
+
+def build_conclude_request() -> bytes:
+    return build_tpkt_cotp(encode_tlv(MMS_CONCLUDE_REQUEST, b""))

@@ -1,0 +1,202 @@
+"""Peach pit for the libiec61850 target.
+
+The MMS BER nesting is expressed with chained SizeOf relations: every TLV
+is a (token tag, length-carrying Number, content Block) triple, so the
+File Fixup module can re-establish all the nested lengths after donor
+splicing — the deepest exercise of the paper's Fixup mechanism in this
+repro.  Identifier chunks (``domain_id``, ``item_id``, ``invoke_id``)
+share semantics across all service models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.model import (
+    Blob, Block, DataModel, Field, Number, Pit, Str, size_of,
+)
+from repro.protocols.iec61850 import codec
+
+DEFAULT_DOMAIN = "IED1_LD0"
+DEFAULT_ITEM = "LLN0$ST$Mod$stVal"
+
+
+def _tlv(prefix: str, tag: int, content: Sequence[Field], *,
+         tag_semantic: str = "ber_tag") -> List[Field]:
+    """A BER TLV as three fields: token tag, length (SizeOf), content."""
+    block = Block(f"{prefix}_content", list(content))
+    return [
+        Number(f"{prefix}_tag", 1, default=tag, token=True,
+               semantic=tag_semantic),
+        size_of(Number(f"{prefix}_len", 1, semantic="ber_length"),
+                f"{prefix}_content"),
+        block,
+    ]
+
+
+def _string_tlv(prefix: str, default: str, *, tag: int = 0x1A,
+                semantic: str) -> List[Field]:
+    return [
+        Number(f"{prefix}_tag", 1, default=tag, token=True,
+               semantic="string_tag"),
+        size_of(Number(f"{prefix}_len", 1, semantic="ber_length"),
+                f"{prefix}_value"),
+        Str(f"{prefix}_value", default=default, semantic=semantic),
+    ]
+
+
+def _object_name(prefix: str, domain: str, item: str) -> List[Field]:
+    """Domain-specific ObjectName: [1]{ domainId, itemId }."""
+    content = (_string_tlv(f"{prefix}_domain", domain, semantic="domain_id")
+               + _string_tlv(f"{prefix}_item", item, semantic="item_id"))
+    return _tlv(f"{prefix}_name", 0xA1, content, tag_semantic="name_tag")
+
+
+def _variable_entry(prefix: str, domain: str, item: str) -> List[Field]:
+    spec = _tlv(f"{prefix}_vspec", 0xA0,
+                _object_name(prefix, domain, item),
+                tag_semantic="vspec_tag")
+    return _tlv(f"{prefix}_entry", 0x30, spec, tag_semantic="entry_tag")
+
+
+def _invoke_id(prefix: str = "invoke") -> List[Field]:
+    return [
+        Number(f"{prefix}_tag", 1, default=0x02, token=True,
+               semantic="invoke_tag"),
+        Number(f"{prefix}_len", 1, default=1, token=True,
+               semantic="ber_length"),
+        Number(f"{prefix}_value", 1, default=1, semantic="invoke_id"),
+    ]
+
+
+def _frame_model(name: str, mms_fields: Sequence[Field],
+                 weight: float = 1.0) -> DataModel:
+    """Wrap an MMS PDU in COTP + TPKT with a length relation."""
+    root = Block(f"{name}.frame", [
+        Number("tpkt_version", 1, default=codec.TPKT_VERSION, token=True,
+               semantic="tpkt_version"),
+        Number("tpkt_reserved", 1, default=0, semantic="tpkt_reserved"),
+        size_of(Number("tpkt_length", 2, semantic="tpkt_length"), "rest",
+                adjust=4),
+        Block("rest", [
+            Number("cotp_length", 1, default=2, token=True,
+                   semantic="cotp_length"),
+            Number("cotp_type", 1, default=codec.COTP_DT, token=True,
+                   semantic="cotp_type"),
+            Number("cotp_eot", 1, default=codec.COTP_EOT,
+                   semantic="cotp_eot"),
+            Block("mms", list(mms_fields)),
+        ]),
+    ])
+    return DataModel(f"iec61850.{name}", root, weight=weight)
+
+
+def _confirmed(name: str, service_tag: int, service_fields: Sequence[Field],
+               weight: float = 1.0) -> DataModel:
+    service = _tlv("svc", service_tag, service_fields,
+                   tag_semantic="service_tag")
+    pdu = _tlv("pdu", codec.MMS_CONFIRMED_REQUEST,
+               _invoke_id() + service, tag_semantic="pdu_tag")
+    return _frame_model(name, pdu, weight=weight)
+
+
+def make_pit() -> Pit:
+    """Build the libiec61850 pit (12 data models)."""
+    models = [
+        _frame_model("initiate", _tlv(
+            "pdu", codec.MMS_INITIATE_REQUEST,
+            [Number("maxpdu_tag", 1, default=0x80, token=True,
+                    semantic="initiate_param_tag"),
+             Number("maxpdu_len", 1, default=2, token=True,
+                    semantic="ber_length"),
+             Number("maxpdu_value", 2, default=65000,
+                    semantic="max_pdu_size")],
+            tag_semantic="pdu_tag"), weight=0.5),
+        _frame_model("conclude", _tlv(
+            "pdu", codec.MMS_CONCLUDE_REQUEST, [
+                Blob("empty", default=b"", max_length=8,
+                     semantic="conclude_body")],
+            tag_semantic="pdu_tag"), weight=0.3),
+        _confirmed("status", codec.SVC_STATUS,
+                   [Blob("status_body", default=b"", max_length=8,
+                         semantic="status_body")], weight=0.5),
+        _confirmed("identify", codec.SVC_IDENTIFY,
+                   [Blob("identify_body", default=b"", max_length=8,
+                         semantic="identify_body")], weight=0.5),
+        _confirmed("get_name_list_vmd", codec.SVC_GET_NAME_LIST,
+                   _tlv("class", 0xA0,
+                        [Number("class_inner_tag", 1, default=0x80,
+                                token=True, semantic="class_tag"),
+                         Number("class_inner_len", 1, default=1, token=True,
+                                semantic="ber_length"),
+                         Number("object_class", 1, default=9,
+                                semantic="object_class")],
+                        tag_semantic="class_wrap_tag")
+                   + _tlv("scope", 0xA1,
+                          [Number("scope_inner_tag", 1, default=0x80,
+                                  token=True, semantic="scope_tag"),
+                           Number("scope_inner_len", 1, default=0,
+                                  token=True, semantic="ber_length")],
+                          tag_semantic="scope_wrap_tag")),
+        _confirmed("get_name_list_domain", codec.SVC_GET_NAME_LIST,
+                   _tlv("class", 0xA0,
+                        [Number("class_inner_tag", 1, default=0x80,
+                                token=True, semantic="class_tag"),
+                         Number("class_inner_len", 1, default=1, token=True,
+                                semantic="ber_length"),
+                         Number("object_class", 1, default=9,
+                                semantic="object_class")],
+                        tag_semantic="class_wrap_tag")
+                   + _tlv("scope", 0xA1,
+                          _string_tlv("scope_domain", DEFAULT_DOMAIN,
+                                      tag=0x81, semantic="domain_id"),
+                          tag_semantic="scope_wrap_tag")),
+        _confirmed("read_variable", codec.SVC_READ,
+                   _tlv("spec", 0xA1,
+                        _variable_entry("v0", DEFAULT_DOMAIN, DEFAULT_ITEM),
+                        tag_semantic="spec_tag")),
+        _confirmed("read_two_variables", codec.SVC_READ,
+                   _tlv("spec", 0xA1,
+                        _variable_entry("v0", DEFAULT_DOMAIN, DEFAULT_ITEM)
+                        + _variable_entry("v1", "IED1_LD1",
+                                          "XCBR1$ST$Pos$stVal"),
+                        tag_semantic="spec_tag")),
+        _confirmed("write_bool", codec.SVC_WRITE,
+                   _tlv("spec", 0xA1,
+                        _variable_entry("v0", DEFAULT_DOMAIN,
+                                        "GGIO1$CO$SPCSO1$Oper$ctlVal"),
+                        tag_semantic="spec_tag")
+                   + _tlv("data", 0xA0,
+                          [Number("bool_tag", 1,
+                                  default=codec.DATA_BOOLEAN, token=True,
+                                  semantic="data_tag"),
+                           Number("bool_len", 1, default=1, token=True,
+                                  semantic="ber_length"),
+                           Number("bool_value", 1, default=1,
+                                  semantic="bool_value")],
+                          tag_semantic="data_wrap_tag")),
+        _confirmed("write_int", codec.SVC_WRITE,
+                   _tlv("spec", 0xA1,
+                        _variable_entry("v0", DEFAULT_DOMAIN,
+                                        "LLN0$CF$Mod$ctlModel"),
+                        tag_semantic="spec_tag")
+                   + _tlv("data", 0xA0,
+                          [Number("int_tag", 1,
+                                  default=codec.DATA_INTEGER, token=True,
+                                  semantic="data_tag"),
+                           size_of(Number("int_len", 1,
+                                          semantic="ber_length"),
+                                   "int_value"),
+                           Blob("int_value", default=b"\x01",
+                                max_length=8, semantic="int_value")],
+                          tag_semantic="data_wrap_tag")),
+        _confirmed("get_var_attributes", codec.SVC_GET_VAR_ATTRIBUTES,
+                   _object_name("v0", DEFAULT_DOMAIN, DEFAULT_ITEM)),
+        # coarse model: raw MMS payload behind valid framing
+        _frame_model("raw_mms", [
+            Blob("mms_blob",
+                 default=bytes((0xA0, 0x05, 0x02, 0x01, 0x01, 0x80, 0x00)),
+                 max_length=64, semantic="raw_mms"),
+        ], weight=0.7),
+    ]
+    return Pit("iec61850", models)

@@ -1,0 +1,504 @@
+"""libiec61850-analog MMS server: the largest fuzzed target.
+
+Mirrors libiec61850's server pipeline: TPKT/COTP validation, BER TLV
+demultiplexing of the MMS PDU, confirmed-service dispatch, and an IED
+data model (logical devices > logical nodes > data objects) backing
+read/write/getNameList.  The recursive BER walk plus name resolution over
+a two-level namespace is what gives this target the largest path count of
+the six (paper Fig. 4c keeps climbing for 24 hours).
+
+No vulnerabilities are seeded (Table I lists none for libiec61850): the
+C-style decoding below bounds-checks every access against the simulated
+heap buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.protocols.iec61850 import codec
+from repro.runtime.target import ProtocolServer
+from repro.sanitizer.heap import Pointer, SimHeap
+
+MAX_NESTING_DEPTH = 8
+MAX_VARIABLES_PER_REQUEST = 16
+
+# data-access error codes (MMS DataAccessError)
+DAE_OBJECT_NONEXISTENT = 10
+DAE_TYPE_INCONSISTENT = 7
+DAE_OBJECT_ACCESS_DENIED = 3
+
+
+def _default_ied_model() -> Dict[str, Dict[str, Tuple[str, object]]]:
+    """The served IED: two logical devices with typed data attributes."""
+    return {
+        "IED1_LD0": {
+            "LLN0$ST$Mod$stVal": ("int", 1),
+            "LLN0$ST$Beh$stVal": ("int", 1),
+            "LLN0$DC$NamPlt$vendor": ("string", "repro"),
+            "LLN0$CF$Mod$ctlModel": ("int", 1),
+            "MMXU1$MX$TotW$mag$f": ("float", 1500),
+            "MMXU1$MX$Hz$mag$f": ("float", 50),
+            "GGIO1$ST$Ind1$stVal": ("bool", True),
+            "GGIO1$CO$SPCSO1$Oper$ctlVal": ("bool", False),
+        },
+        "IED1_LD1": {
+            "XCBR1$ST$Pos$stVal": ("int", 2),
+            "XCBR1$CO$Pos$Oper$ctlVal": ("bool", False),
+            "XCBR1$ST$BlkOpn$stVal": ("bool", False),
+            "PTOC1$ST$Str$general": ("bool", False),
+        },
+    }
+
+
+class Iec61850Server(ProtocolServer):
+    """MMS server over the simulated heap with libiec61850 control flow."""
+
+    name = "libiec61850"
+
+    def __init__(self):
+        self.model = _default_ied_model()
+        self.associated = True  # harness models an established association
+
+    def reset(self) -> None:
+        self.model = _default_ied_model()
+        self.associated = True
+
+    # ------------------------------------------------------------------
+    # framing
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, heap: SimHeap, data: bytes) -> Optional[bytes]:
+        if len(data) < 7:
+            return None
+        frame = heap.malloc_from(data, "tpkt-frame")
+        version = heap.read_u8(frame, 0, "cotp.c:tpkt_version")
+        if version != codec.TPKT_VERSION:
+            return None
+        total = heap.read_u16(frame, 2, "cotp.c:tpkt_length")
+        if total != len(data):
+            return None
+        cotp_len = heap.read_u8(frame, 4, "cotp.c:cotp_length")
+        if cotp_len < 2 or 5 + cotp_len > len(data):
+            return None
+        pdu_type = heap.read_u8(frame, 5, "cotp.c:cotp_type")
+        if pdu_type != codec.COTP_DT:
+            return None
+        mms_offset = 5 + cotp_len
+        mms_len = len(data) - mms_offset
+        if mms_len < 2:
+            return None
+        mms = heap.malloc_from(
+            heap.read(frame, mms_offset, mms_len, "cotp.c:payload_copy"),
+            "mms-pdu")
+        return self._handle_mms(heap, mms, mms_len)
+
+    # ------------------------------------------------------------------
+    # C-style BER primitives (bounds-checked against the heap buffer)
+    # ------------------------------------------------------------------
+
+    def _read_tlv_header(self, heap: SimHeap, buf: Pointer, pos: int,
+                         end: int, site: str
+                         ) -> Optional[Tuple[int, int, int]]:
+        """Return (tag, length, value_pos) or None on malformed TLV."""
+        if pos + 2 > end:
+            return None
+        tag = heap.read_u8(buf, pos, site)
+        first = heap.read_u8(buf, pos + 1, site)
+        value_pos = pos + 2
+        if first < 0x80:
+            length = first
+        else:
+            count = first & 0x7F
+            if count == 0 or count > 2 or value_pos + count > end:
+                return None
+            length = 0
+            for index in range(count):
+                length = (length << 8) | heap.read_u8(buf, value_pos + index,
+                                                      site)
+            value_pos += count
+        if value_pos + length > end:
+            return None
+        return tag, length, value_pos
+
+    # ------------------------------------------------------------------
+    # MMS dispatch
+    # ------------------------------------------------------------------
+
+    def _handle_mms(self, heap: SimHeap, mms: Pointer,
+                    size: int) -> Optional[bytes]:
+        header = self._read_tlv_header(heap, mms, 0, size,
+                                       "mms_server.c:pdu_tag")
+        if header is None:
+            return None
+        tag, length, value_pos = header
+        end = value_pos + length
+        if tag == codec.MMS_INITIATE_REQUEST:
+            return self._initiate(heap, mms, value_pos, end)
+        if tag == codec.MMS_CONCLUDE_REQUEST:
+            return codec.build_tpkt_cotp(
+                bytes((codec.MMS_CONCLUDE_RESPONSE, 0)))
+        if tag == codec.MMS_CONFIRMED_REQUEST:
+            return self._confirmed_request(heap, mms, value_pos, end)
+        return self._reject(0)
+
+    def _initiate(self, heap: SimHeap, mms: Pointer, pos: int,
+                  end: int) -> Optional[bytes]:
+        max_pdu = 65000
+        header = self._read_tlv_header(heap, mms, pos, end,
+                                       "mms_server.c:initiate_param")
+        if header is not None:
+            tag, length, value_pos = header
+            if tag == 0x80 and 1 <= length <= 4:
+                max_pdu = 0
+                for index in range(length):
+                    max_pdu = (max_pdu << 8) | heap.read_u8(
+                        mms, value_pos + index, "mms_server.c:initiate_pdu")
+                if max_pdu < 64:
+                    return self._reject(1)
+        self.associated = True
+        from repro.protocols.common.ber import encode_integer, encode_tlv
+        body = encode_integer(min(max_pdu, 65000), tag=0x80)
+        return codec.build_tpkt_cotp(
+            encode_tlv(codec.MMS_INITIATE_RESPONSE, body))
+
+    def _confirmed_request(self, heap: SimHeap, mms: Pointer, pos: int,
+                           end: int) -> Optional[bytes]:
+        if not self.associated:
+            return self._reject(2)
+        header = self._read_tlv_header(heap, mms, pos, end,
+                                       "mms_server.c:invoke_id")
+        if header is None or header[0] != 0x02:
+            return self._reject(3)
+        tag, length, value_pos = header
+        if length < 1 or length > 4:
+            return self._reject(3)
+        invoke_id = 0
+        for index in range(length):
+            invoke_id = (invoke_id << 8) | heap.read_u8(
+                mms, value_pos + index, "mms_server.c:invoke_id_value")
+        pos = value_pos + length
+        header = self._read_tlv_header(heap, mms, pos, end,
+                                       "mms_server.c:service_tag")
+        if header is None:
+            return self._reject(3)
+        service, svc_len, svc_pos = header
+        svc_end = svc_pos + svc_len
+        if service == codec.SVC_STATUS:
+            return self._status_response(invoke_id)
+        if service == codec.SVC_IDENTIFY:
+            return self._identify_response(invoke_id)
+        if service == codec.SVC_GET_NAME_LIST:
+            return self._get_name_list(heap, mms, svc_pos, svc_end, invoke_id)
+        if service == codec.SVC_READ:
+            return self._read_service(heap, mms, svc_pos, svc_end, invoke_id)
+        if service == codec.SVC_WRITE:
+            return self._write_service(heap, mms, svc_pos, svc_end,
+                                       invoke_id)
+        if service == codec.SVC_GET_VAR_ATTRIBUTES:
+            return self._get_var_attributes(heap, mms, svc_pos, svc_end,
+                                            invoke_id)
+        return self._confirmed_error(invoke_id, 1)  # service not supported
+
+    # ------------------------------------------------------------------
+    # name parsing shared by read/write/attributes (Fig. 2b shared blocks)
+    # ------------------------------------------------------------------
+
+    def _parse_object_name(self, heap: SimHeap, mms: Pointer, pos: int,
+                           end: int) -> Optional[Tuple[str, str, int]]:
+        """Parse a domain-specific ObjectName; returns (domain, item, next)."""
+        header = self._read_tlv_header(heap, mms, pos, end,
+                                       "mms_named_variable.c:name_tag")
+        if header is None or header[0] != 0xA1:
+            return None
+        _, length, value_pos = header
+        name_end = value_pos + length
+        domain = self._parse_string(heap, mms, value_pos, name_end,
+                                    "mms_named_variable.c:domain_id")
+        if domain is None:
+            return None
+        item = self._parse_string(heap, mms, domain[1], name_end,
+                                  "mms_named_variable.c:item_id")
+        if item is None:
+            return None
+        return domain[0], item[0], name_end
+
+    def _parse_string(self, heap: SimHeap, mms: Pointer, pos: int, end: int,
+                      site: str) -> Optional[Tuple[str, int]]:
+        header = self._read_tlv_header(heap, mms, pos, end, site)
+        if header is None:
+            return None
+        tag, length, value_pos = header
+        if tag not in (0x1A, 0x81):  # VisibleString variants
+            return None
+        if length > 64:
+            return None  # name longer than the 64-char MMS identifier cap
+        chars = []
+        for index in range(length):
+            octet = heap.read_u8(mms, value_pos + index, site)
+            if octet < 0x20 or octet > 0x7E:
+                return None  # identifiers are printable ASCII
+            chars.append(chr(octet))
+        return "".join(chars), value_pos + length
+
+    def _parse_variable_list(self, heap: SimHeap, mms: Pointer, pos: int,
+                             end: int) -> Optional[List[Tuple[str, str]]]:
+        """Parse variableAccessSpecification > listOfVariables."""
+        header = self._read_tlv_header(heap, mms, pos, end,
+                                       "mms_server.c:access_spec")
+        if header is None or header[0] != 0xA1:
+            return None
+        _, length, value_pos = header
+        list_end = value_pos + length
+        variables: List[Tuple[str, str]] = []
+        cursor = value_pos
+        while cursor < list_end:
+            if len(variables) >= MAX_VARIABLES_PER_REQUEST:
+                return None
+            entry = self._read_tlv_header(heap, mms, cursor, list_end,
+                                          "mms_server.c:variable_entry")
+            if entry is None or entry[0] != 0x30:
+                return None
+            _, entry_len, entry_pos = entry
+            entry_end = entry_pos + entry_len
+            spec = self._read_tlv_header(heap, mms, entry_pos, entry_end,
+                                         "mms_server.c:variable_spec")
+            if spec is None or spec[0] != 0xA0:
+                return None
+            name = self._parse_object_name(heap, mms, spec[2],
+                                           spec[2] + spec[1])
+            if name is None:
+                return None
+            variables.append((name[0], name[1]))
+            cursor = entry_end
+        if not variables:
+            return None
+        return variables
+
+    # ------------------------------------------------------------------
+    # services
+    # ------------------------------------------------------------------
+
+    def _read_service(self, heap: SimHeap, mms: Pointer, pos: int, end: int,
+                      invoke_id: int) -> Optional[bytes]:
+        variables = self._parse_variable_list(heap, mms, pos, end)
+        if variables is None:
+            return self._confirmed_error(invoke_id, 2)
+        from repro.protocols.common.ber import encode_tlv
+        results = bytearray()
+        for domain, item in variables:
+            value = self._lookup(domain, item)
+            if value is None:
+                results += encode_tlv(0x80, bytes((DAE_OBJECT_NONEXISTENT,)))
+            else:
+                results += self._encode_value(value)
+        body = encode_tlv(0xA1, bytes(results))  # listOfAccessResult
+        service = encode_tlv(codec.SVC_READ, body)
+        return self._confirmed_response(invoke_id, service)
+
+    def _write_service(self, heap: SimHeap, mms: Pointer, pos: int, end: int,
+                       invoke_id: int) -> Optional[bytes]:
+        variables = self._parse_variable_list(heap, mms, pos, end)
+        if variables is None:
+            return self._confirmed_error(invoke_id, 2)
+        data_header = None
+        cursor = pos
+        # skip the access spec TLV to find listOfData
+        spec = self._read_tlv_header(heap, mms, cursor, end,
+                                     "mms_server.c:write_spec_skip")
+        if spec is not None:
+            cursor = spec[2] + spec[1]
+            data_header = self._read_tlv_header(heap, mms, cursor, end,
+                                                "mms_server.c:list_of_data")
+        if data_header is None or data_header[0] != 0xA0:
+            return self._confirmed_error(invoke_id, 2)
+        _, data_len, data_pos = data_header
+        data_end = data_pos + data_len
+        from repro.protocols.common.ber import encode_tlv
+        results = bytearray()
+        cursor = data_pos
+        for domain, item in variables:
+            if cursor >= data_end:
+                results += bytes((0x80, 1, DAE_TYPE_INCONSISTENT))
+                continue
+            value_header = self._read_tlv_header(heap, mms, cursor, data_end,
+                                                 "mms_server.c:write_value")
+            if value_header is None:
+                results += bytes((0x80, 1, DAE_TYPE_INCONSISTENT))
+                break
+            tag, length, value_pos = value_header
+            cursor = value_pos + length
+            status = self._apply_write(heap, mms, domain, item, tag, length,
+                                       value_pos)
+            if status == 0:
+                results += encode_tlv(0x81, b"")  # success
+            else:
+                results += encode_tlv(0x80, bytes((status,)))
+        service = encode_tlv(codec.SVC_WRITE, bytes(results))
+        return self._confirmed_response(invoke_id, service)
+
+    def _apply_write(self, heap: SimHeap, mms: Pointer, domain: str,
+                     item: str, tag: int, length: int, value_pos: int) -> int:
+        current = self._lookup(domain, item)
+        if current is None:
+            return DAE_OBJECT_NONEXISTENT
+        kind, _old = current
+        if "$CO$" not in item and "$CF$" not in item:
+            return DAE_OBJECT_ACCESS_DENIED  # status/measurement: read-only
+        if tag == codec.DATA_BOOLEAN and kind == "bool":
+            if length != 1:
+                return DAE_TYPE_INCONSISTENT
+            raw = heap.read_u8(mms, value_pos, "mms_server.c:write_bool")
+            self.model[domain][item] = (kind, bool(raw))
+            return 0
+        if tag == codec.DATA_INTEGER and kind == "int":
+            if length < 1 or length > 4:
+                return DAE_TYPE_INCONSISTENT
+            value = 0
+            for index in range(length):
+                value = (value << 8) | heap.read_u8(
+                    mms, value_pos + index, "mms_server.c:write_int")
+            self.model[domain][item] = (kind, value)
+            return 0
+        if tag == codec.DATA_FLOAT and kind == "float":
+            if length != 5:  # exponent-width octet + IEEE-754 single
+                return DAE_TYPE_INCONSISTENT
+            raw = heap.read(mms, value_pos + 1, 4,
+                            "mms_server.c:write_float")
+            self.model[domain][item] = (kind,
+                                        int.from_bytes(raw, "big"))
+            return 0
+        if tag == codec.DATA_VISIBLE_STRING and kind == "string":
+            chars = heap.read(mms, value_pos, length,
+                              "mms_server.c:write_string")
+            self.model[domain][item] = (kind,
+                                        chars.decode("latin-1")[:32])
+            return 0
+        return DAE_TYPE_INCONSISTENT
+
+    def _get_name_list(self, heap: SimHeap, mms: Pointer, pos: int, end: int,
+                       invoke_id: int) -> Optional[bytes]:
+        header = self._read_tlv_header(heap, mms, pos, end,
+                                       "mms_get_name_list.c:class")
+        if header is None or header[0] != 0xA0:
+            return self._confirmed_error(invoke_id, 2)
+        class_inner = self._read_tlv_header(heap, mms, header[2],
+                                            header[2] + header[1],
+                                            "mms_get_name_list.c:class_inner")
+        if class_inner is None or class_inner[0] != 0x80 or \
+                class_inner[1] != 1:
+            return self._confirmed_error(invoke_id, 2)
+        object_class = heap.read_u8(mms, class_inner[2],
+                                    "mms_get_name_list.c:class_value")
+        scope_pos = header[2] + header[1]
+        scope = self._read_tlv_header(heap, mms, scope_pos, end,
+                                      "mms_get_name_list.c:scope")
+        if scope is None or scope[0] != 0xA1:
+            return self._confirmed_error(invoke_id, 2)
+        scope_inner = self._read_tlv_header(heap, mms, scope[2],
+                                            scope[2] + scope[1],
+                                            "mms_get_name_list.c:scope_inner")
+        if scope_inner is None:
+            return self._confirmed_error(invoke_id, 2)
+        names: List[str]
+        if scope_inner[0] == 0x80:  # vmd-specific: list domains
+            names = sorted(self.model)
+        elif scope_inner[0] == 0x81:  # domain-specific
+            domain = self._parse_string(heap, mms, scope[2],
+                                        scope[2] + scope[1],
+                                        "mms_get_name_list.c:domain")
+            if domain is None:
+                return self._confirmed_error(invoke_id, 2)
+            items = self.model.get(domain[0])
+            if items is None:
+                return self._confirmed_error(invoke_id, DAE_OBJECT_NONEXISTENT)
+            if object_class == 9:  # named variables
+                names = sorted(items)
+            else:
+                names = []
+        else:
+            return self._confirmed_error(invoke_id, 2)
+        from repro.protocols.common.ber import (
+            encode_tlv, encode_visible_string,
+        )
+        listing = b"".join(encode_visible_string(name)[:130]
+                           for name in names[:16])
+        body = encode_tlv(0xA0, listing) + encode_tlv(0x81, b"\x00")
+        service = encode_tlv(codec.SVC_GET_NAME_LIST, body)
+        return self._confirmed_response(invoke_id, service)
+
+    def _get_var_attributes(self, heap: SimHeap, mms: Pointer, pos: int,
+                            end: int, invoke_id: int) -> Optional[bytes]:
+        name = self._parse_object_name(heap, mms, pos, end)
+        if name is None:
+            return self._confirmed_error(invoke_id, 2)
+        value = self._lookup(name[0], name[1])
+        if value is None:
+            return self._confirmed_error(invoke_id, DAE_OBJECT_NONEXISTENT)
+        from repro.protocols.common.ber import encode_tlv
+        type_tag = {"bool": 0x84, "int": 0x85, "float": 0x87,
+                    "string": 0x8A}.get(value[0], 0x85)
+        body = encode_tlv(0x80, b"\xff") + encode_tlv(0xA2,
+                                                      encode_tlv(type_tag,
+                                                                 b"\x08"))
+        service = encode_tlv(codec.SVC_GET_VAR_ATTRIBUTES, body)
+        return self._confirmed_response(invoke_id, service)
+
+    # ------------------------------------------------------------------
+    # model access + response assembly
+    # ------------------------------------------------------------------
+
+    def _lookup(self, domain: str, item: str
+                ) -> Optional[Tuple[str, object]]:
+        items = self.model.get(domain)
+        if items is None:
+            return None
+        return items.get(item)
+
+    def _encode_value(self, value: Tuple[str, object]) -> bytes:
+        from repro.protocols.common.ber import encode_tlv
+        kind, payload = value
+        if kind == "bool":
+            return encode_tlv(codec.DATA_BOOLEAN,
+                              b"\x01" if payload else b"\x00")
+        if kind == "int":
+            return encode_tlv(codec.DATA_INTEGER,
+                              int(payload).to_bytes(4, "big", signed=True))
+        if kind == "float":
+            return encode_tlv(codec.DATA_FLOAT,
+                              b"\x08" + int(payload).to_bytes(4, "big"))
+        return encode_tlv(codec.DATA_VISIBLE_STRING,
+                          str(payload).encode("latin-1"))
+
+    def _status_response(self, invoke_id: int) -> bytes:
+        from repro.protocols.common.ber import encode_tlv
+        service = encode_tlv(codec.SVC_STATUS, bytes((0x80, 1, 0)))
+        return self._confirmed_response(invoke_id, service)
+
+    def _identify_response(self, invoke_id: int) -> bytes:
+        from repro.protocols.common.ber import (
+            encode_tlv, encode_visible_string,
+        )
+        body = (encode_visible_string("repro", tag=0x80)
+                + encode_visible_string("libiec61850-analog", tag=0x81)
+                + encode_visible_string("1.0", tag=0x82))
+        service = encode_tlv(codec.SVC_IDENTIFY, body)
+        return self._confirmed_response(invoke_id, service)
+
+    def _confirmed_response(self, invoke_id: int, service: bytes) -> bytes:
+        from repro.protocols.common.ber import encode_integer, encode_tlv
+        pdu = encode_tlv(codec.MMS_CONFIRMED_RESPONSE,
+                         encode_integer(invoke_id) + service)
+        return codec.build_tpkt_cotp(pdu)
+
+    def _confirmed_error(self, invoke_id: int, code: int) -> bytes:
+        from repro.protocols.common.ber import encode_integer, encode_tlv
+        pdu = encode_tlv(codec.MMS_CONFIRMED_ERROR,
+                         encode_integer(invoke_id)
+                         + encode_tlv(0x80, bytes((code,))))
+        return codec.build_tpkt_cotp(pdu)
+
+    def _reject(self, reason: int) -> bytes:
+        from repro.protocols.common.ber import encode_tlv
+        return codec.build_tpkt_cotp(
+            encode_tlv(codec.MMS_REJECT, bytes((0x80, 1, reason))))

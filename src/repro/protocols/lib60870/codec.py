@@ -1,0 +1,123 @@
+"""lib60870-analog CS104 codec — safe helpers and type tables.
+
+The lib60870 target implements a much fuller IEC 60870-5-101/104 ASDU
+stack than the simple IEC104 project: typed information objects, variable
+structure qualifiers (SQ bit + count), two-octet cause of transmission,
+and CP24/CP56 time tags.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+START_BYTE = 0x68
+
+# slave database geometry (shared by server and pit defaults)
+IOA_BASE = 0x100
+OBJECT_TABLE_ENTRIES = 64
+OBJECT_ENTRY_SIZE = 8
+
+# Monitor-direction type ids
+M_SP_NA_1 = 1    # single point
+M_DP_NA_1 = 3    # double point
+M_ST_NA_1 = 5    # step position
+M_BO_NA_1 = 7    # bitstring 32
+M_ME_NA_1 = 9    # measured, normalized
+M_ME_NB_1 = 11   # measured, scaled
+M_ME_NC_1 = 13   # measured, short float
+M_IT_NA_1 = 15   # integrated totals
+M_SP_TB_1 = 30   # single point with CP56 time
+M_EI_NA_1 = 70   # end of initialization
+
+# Control-direction type ids
+C_SC_NA_1 = 45   # single command
+C_DC_NA_1 = 46   # double command
+C_RC_NA_1 = 47   # regulating step
+C_SE_NA_1 = 48   # setpoint, normalized
+C_SE_NB_1 = 49   # setpoint, scaled
+C_SE_NC_1 = 50   # setpoint, short float
+C_IC_NA_1 = 100  # interrogation
+C_CI_NA_1 = 101  # counter interrogation
+C_RD_NA_1 = 102  # read
+C_CS_NA_1 = 103  # clock sync
+
+# information-element byte size per type id (after the 3-byte IOA)
+ELEMENT_SIZE: Dict[int, int] = {
+    M_SP_NA_1: 1,
+    M_DP_NA_1: 1,
+    M_ST_NA_1: 2,
+    M_BO_NA_1: 5,
+    M_ME_NA_1: 3,
+    M_ME_NB_1: 3,
+    M_ME_NC_1: 5,
+    M_IT_NA_1: 5,
+    M_SP_TB_1: 8,
+    M_EI_NA_1: 1,
+    C_SC_NA_1: 1,
+    C_DC_NA_1: 1,
+    C_RC_NA_1: 1,
+    C_SE_NA_1: 3,
+    C_SE_NB_1: 3,
+    C_SE_NC_1: 5,
+    C_IC_NA_1: 1,
+    C_CI_NA_1: 1,
+    C_RD_NA_1: 0,
+    C_CS_NA_1: 7,
+}
+
+SUPPORTED_TYPES = tuple(sorted(ELEMENT_SIZE))
+
+# causes of transmission
+COT_PERIODIC = 1
+COT_SPONTANEOUS = 3
+COT_ACTIVATION = 6
+COT_ACTIVATION_CON = 7
+COT_DEACTIVATION = 8
+COT_DEACTIVATION_CON = 9
+COT_ACTIVATION_TERMINATION = 10
+COT_INTERROGATED_BY_STATION = 20
+COT_UNKNOWN_TYPE_ID = 44
+COT_UNKNOWN_COT = 45
+COT_UNKNOWN_CA = 46
+COT_UNKNOWN_IOA = 47
+
+
+def build_apci_i(send_seq: int, recv_seq: int, asdu: bytes) -> bytes:
+    """Wrap *asdu* in an I-format APCI."""
+    length = 4 + len(asdu)
+    return bytes((
+        START_BYTE, length,
+        (send_seq << 1) & 0xFE, (send_seq >> 7) & 0xFF,
+        (recv_seq << 1) & 0xFF, (recv_seq >> 7) & 0xFF,
+    )) + asdu
+
+
+def build_u_frame(function: int) -> bytes:
+    return bytes((START_BYTE, 4, function, 0, 0, 0))
+
+
+def build_asdu(type_id: int, count: int, sequence: bool, cot: int,
+               originator: int, ca: int, objects: bytes) -> bytes:
+    """Build a CS101 ASDU (two-octet COT, two-octet CA).
+
+    Bit 6 of the COT octet is the P/N (negative confirmation) flag and is
+    preserved; bit 7 (test) is stripped.
+    """
+    vsq = (count & 0x7F) | (0x80 if sequence else 0)
+    return (bytes((type_id, vsq, cot & 0x7F, originator))
+            + ca.to_bytes(2, "little")
+            + objects)
+
+
+def build_object(ioa: int, element: bytes) -> bytes:
+    """One information object: 3-byte IOA + typed element."""
+    return ioa.to_bytes(3, "little") + element
+
+
+def cp56time(milliseconds: int = 0, minute: int = 0, hour: int = 0,
+             day: int = 1, month: int = 6, year: int = 26) -> bytes:
+    """Encode a CP56Time2a timestamp."""
+    return bytes((
+        milliseconds & 0xFF, (milliseconds >> 8) & 0xFF,
+        minute & 0x3F, hour & 0x1F, day & 0x1F, month & 0x0F, year & 0x7F,
+    ))

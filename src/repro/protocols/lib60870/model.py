@@ -1,0 +1,121 @@
+"""Peach pit for the lib60870 target.
+
+One data model per ASDU type id handled by the slave, all sharing the
+APCI + ASDU header construction rules (``type_id``, ``vsq``, ``cot``,
+``originator``, ``ca``, ``ioa``).  Element payloads are deliberately
+modelled as *variable-length* blobs with valid defaults — the
+coarse-grained modelling the paper recommends (§V-A) — so generation
+explores truncated and oversized information elements, which is exactly
+where the library's unchecked accessors break.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.model import Blob, Block, DataModel, Number, Pit, size_of
+from repro.protocols.lib60870 import codec
+
+
+def _i_frame_model(name: str, type_id: int, element_default: bytes,
+                   weight: float = 1.0) -> DataModel:
+    children: List = [
+        Number("type_id", 1, default=type_id, token=True,
+               semantic="type_id"),
+        Number("vsq", 1, default=1, semantic="vsq"),
+        Number("cot", 1, default=codec.COT_ACTIVATION, semantic="cot"),
+        Number("originator", 1, default=0, semantic="originator"),
+        Number("ca", 2, default=1, endian="little", semantic="ca"),
+        Number("ioa", 3, default=codec.IOA_BASE if type_id >= 45 else 0,
+               endian="little", semantic="ioa"),
+    ]
+    if element_default:
+        children.append(Blob("element", default=element_default,
+                             max_length=24, semantic="element"))
+    root = Block(f"{name}.frame", [
+        Number("start", 1, default=codec.START_BYTE, token=True,
+               semantic="start_byte"),
+        size_of(Number("length", 1, semantic="apci_length"), "body"),
+        Block("body", [
+            Number("send_seq_lo", 1, default=0, semantic="send_seq"),
+            Number("send_seq_hi", 1, default=0, semantic="send_seq_hi"),
+            Number("recv_seq_lo", 1, default=0, semantic="recv_seq"),
+            Number("recv_seq_hi", 1, default=0, semantic="recv_seq_hi"),
+            Block("asdu", children),
+        ]),
+    ])
+    return DataModel(f"lib60870.{name}", root, weight=weight)
+
+
+def make_pit() -> Pit:
+    """Build the lib60870 pit (one model per supported ASDU type + extras)."""
+    qos = bytes((0x00,))
+    models = [
+        # control direction
+        _i_frame_model("interrogation", codec.C_IC_NA_1, bytes((20,))),
+        _i_frame_model("counter_interrogation", codec.C_CI_NA_1,
+                       bytes((0x05,))),
+        _i_frame_model("clock_sync", codec.C_CS_NA_1,
+                       codec.cp56time(1000, 30, 12)),
+        _i_frame_model("read_command", codec.C_RD_NA_1, b""),
+        _i_frame_model("single_command", codec.C_SC_NA_1, bytes((0x01,))),
+        _i_frame_model("double_command", codec.C_DC_NA_1, bytes((0x01,))),
+        _i_frame_model("step_command", codec.C_RC_NA_1, bytes((0x01,))),
+        _i_frame_model("setpoint_normalized", codec.C_SE_NA_1,
+                       b"\x00\x40" + qos),
+        _i_frame_model("setpoint_scaled", codec.C_SE_NB_1,
+                       b"\x10\x00" + qos),
+        _i_frame_model("setpoint_float", codec.C_SE_NC_1,
+                       b"\x00\x00\x80\x3f" + qos),
+        # monitor direction (peer-to-peer traffic the slave must tolerate)
+        _i_frame_model("single_point", codec.M_SP_NA_1, bytes((0x01,)),
+                       weight=0.7),
+        _i_frame_model("double_point", codec.M_DP_NA_1, bytes((0x02,)),
+                       weight=0.7),
+        _i_frame_model("step_position", codec.M_ST_NA_1, b"\x05\x00",
+                       weight=0.7),
+        _i_frame_model("bitstring32", codec.M_BO_NA_1,
+                       b"\xde\xad\xbe\xef\x00", weight=0.7),
+        _i_frame_model("measured_normalized", codec.M_ME_NA_1,
+                       b"\x00\x20\x00", weight=0.7),
+        _i_frame_model("measured_scaled", codec.M_ME_NB_1, b"\x64\x00\x00",
+                       weight=0.7),
+        _i_frame_model("measured_float", codec.M_ME_NC_1,
+                       b"\x00\x00\xc8\x42\x00", weight=0.7),
+        _i_frame_model("integrated_totals", codec.M_IT_NA_1,
+                       b"\x2a\x00\x00\x00\x00", weight=0.7),
+        _i_frame_model("single_point_time", codec.M_SP_TB_1,
+                       bytes((0x01,)) + codec.cp56time(), weight=0.7),
+        _i_frame_model("end_of_init", codec.M_EI_NA_1, bytes((0x00,)),
+                       weight=0.7),
+        # U-frame model
+        DataModel("lib60870.u_frame", Block("u_frame.frame", [
+            Number("start", 1, default=codec.START_BYTE, token=True,
+                   semantic="start_byte"),
+            Number("length", 1, default=4, token=True,
+                   semantic="apci_length"),
+            Number("ctrl1", 1, default=0x07,
+                   values=(0x07, 0x0B, 0x13, 0x23, 0x43, 0x83),
+                   semantic="u_function"),
+            Number("ctrl2", 1, default=0, semantic="ctrl2"),
+            Number("ctrl3", 1, default=0, semantic="ctrl3"),
+            Number("ctrl4", 1, default=0, semantic="ctrl4"),
+        ]), weight=0.4),
+        # coarse model: I-frame with an opaque ASDU — supplies the short
+        # ASDUs that reach CS101_ASDU_getCOT with a 1-2 byte buffer
+        DataModel("lib60870.raw_asdu", Block("raw_asdu.frame", [
+            Number("start", 1, default=codec.START_BYTE, token=True,
+                   semantic="start_byte"),
+            size_of(Number("length", 1, semantic="apci_length"), "body"),
+            Block("body", [
+                Number("send_seq_lo", 1, default=0, semantic="send_seq"),
+                Number("send_seq_hi", 1, default=0, semantic="send_seq_hi"),
+                Number("recv_seq_lo", 1, default=0, semantic="recv_seq"),
+                Number("recv_seq_hi", 1, default=0, semantic="recv_seq_hi"),
+                Blob("asdu", default=b"\x64\x01\x06\x00\x01\x00"
+                                     b"\x00\x00\x00\x14",
+                     max_length=48, semantic="raw_asdu"),
+            ]),
+        ]), weight=0.6),
+    ]
+    return Pit("lib60870", models)

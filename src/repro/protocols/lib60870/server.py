@@ -1,0 +1,345 @@
+"""lib60870-analog server: full CS104 slave with three seeded SEGVs.
+
+This target mirrors the packet-processing path of mz-automation's
+lib60870-C: APCI demultiplexing, ``CS101_ASDU`` header accessors, and a
+per-type information-object decoder feeding slave-side handlers.
+
+Three vulnerabilities are seeded, matching Table I's lib60870 row
+(3 × SEGV):
+
+* ``cs101_asdu.c:CS101_ASDU_getCOT`` — the paper's Listing 1: the COT
+  accessor reads ``asdu[2]`` without verifying the ASDU buffer actually
+  has three bytes; an I-frame whose APCI length admits a 1- or 2-byte
+  ASDU makes the computed address fall outside the allocation.
+* ``cs101_slave.c:lookup_object`` — setpoint commands resolve the target
+  information object via ``table_base + (ioa - base) * entry`` without a
+  range check on the packet-supplied IOA (wild address).
+* ``cs104_slave.c:handle_clock_sync`` — the clock-sync handler reads the
+  7-octet CP56Time2a tag byte-by-byte from a computed offset without
+  verifying the ASDU payload is long enough.
+
+Everything else is bounds-checked; malformed traffic is answered with the
+negative-confirmation COTs the real library uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.lib60870 import codec
+from repro.runtime.target import ProtocolServer
+from repro.sanitizer.heap import Pointer, SimHeap
+
+IOA_BASE = codec.IOA_BASE
+OBJECT_TABLE_ENTRIES = codec.OBJECT_TABLE_ENTRIES
+OBJECT_ENTRY_SIZE = codec.OBJECT_ENTRY_SIZE
+
+_U_CONFIRMS = {0x07: 0x0B, 0x13: 0x23, 0x43: 0x83}
+
+
+class Lib60870Server(ProtocolServer):
+    """CS104 slave with the lib60870 processing pipeline."""
+
+    name = "lib60870"
+
+    def __init__(self):
+        self.started = True
+        self.recv_seq = 0
+        self.send_seq = 0
+
+    def reset(self) -> None:
+        self.started = True
+        self.recv_seq = 0
+        self.send_seq = 0
+
+    # ------------------------------------------------------------------
+    # APCI layer
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, heap: SimHeap, data: bytes) -> Optional[bytes]:
+        if len(data) < 6:
+            return None
+        frame = heap.malloc_from(data, "apci-frame")
+        if heap.read_u8(frame, 0, "cs104_frame.c:start") != codec.START_BYTE:
+            return None
+        length = heap.read_u8(frame, 1, "cs104_frame.c:length")
+        if length < 4 or length + 2 != len(data):
+            return None
+        ctrl1 = heap.read_u8(frame, 2, "cs104_frame.c:ctrl1")
+        if ctrl1 & 0x01 == 0:
+            return self._handle_asdu_frame(heap, frame, length)
+        if ctrl1 & 0x03 == 0x01:
+            return None  # S-frame: sequence bookkeeping only
+        confirm = _U_CONFIRMS.get(ctrl1)
+        if confirm is None:
+            return None
+        if ctrl1 == 0x07:
+            self.started = True
+        elif ctrl1 == 0x13:
+            self.started = False
+        return codec.build_u_frame(confirm)
+
+    # ------------------------------------------------------------------
+    # CS101_ASDU accessors (the paper's Listing 1 lives here)
+    # ------------------------------------------------------------------
+
+    def _asdu_get_type(self, heap: SimHeap, asdu: Pointer) -> int:
+        return heap.read_u8(asdu, 0, "cs101_asdu.c:CS101_ASDU_getTypeID")
+
+    def _asdu_get_vsq(self, heap: SimHeap, asdu: Pointer) -> int:
+        return heap.read_u8(asdu, 1, "cs101_asdu.c:CS101_ASDU_getVSQ")
+
+    def _asdu_get_cot(self, heap: SimHeap, asdu: Pointer) -> int:
+        # SEEDED BUG (lib60870 row, SEGV #1 — the paper's Listing 1):
+        # return (CauseOfTransmission)(self->asdu[2] & 0x3f) without any
+        # length verification.  The read goes through a *computed address*
+        # so a 1- or 2-byte ASDU dereferences past the allocation.
+        value = heap.deref_read(asdu.address + 2, 1,
+                                "cs101_asdu.c:CS101_ASDU_getCOT")[0]
+        return value & 0x3F
+
+    def _asdu_get_ca(self, heap: SimHeap, asdu: Pointer, size: int) -> int:
+        if size < 6:
+            return 0
+        return heap.read_u16(asdu, 4, "cs101_asdu.c:CS101_ASDU_getCA",
+                             endian="little")
+
+    # ------------------------------------------------------------------
+    # ASDU processing
+    # ------------------------------------------------------------------
+
+    def _handle_asdu_frame(self, heap: SimHeap, frame: Pointer,
+                           length: int) -> Optional[bytes]:
+        if not self.started:
+            return None
+        self.recv_seq = (self.recv_seq + 1) & 0x7FFF
+        asdu_size = length - 4
+        if asdu_size < 1:
+            return None  # empty I-frame payload: dropped at APCI level
+        # lib60870 copies the ASDU region into its own buffer of exactly
+        # the received size — short ASDUs yield short buffers.
+        payload = heap.read(frame, 6, asdu_size, "cs104_slave.c:copy_asdu")
+        asdu = heap.malloc_from(payload, "asdu-buffer")
+        type_id = self._asdu_get_type(heap, asdu)
+        if asdu_size >= 2:
+            vsq = self._asdu_get_vsq(heap, asdu)
+        else:
+            vsq = 0
+        cot = self._asdu_get_cot(heap, asdu)  # unchecked: Listing 1
+        ca = self._asdu_get_ca(heap, asdu, asdu_size)
+        element_size = codec.ELEMENT_SIZE.get(type_id)
+        if element_size is None:
+            return self._confirm(type_id, vsq, codec.COT_UNKNOWN_TYPE_ID, ca)
+        if asdu_size < 6:
+            return None  # header incomplete for known types
+        count = vsq & 0x7F
+        sequence = bool(vsq & 0x80)
+        if count == 0:
+            return self._confirm(type_id, vsq, codec.COT_UNKNOWN_COT, ca)
+        if ca == 0:
+            return self._confirm(type_id, vsq, codec.COT_UNKNOWN_CA, ca)
+        return self._dispatch_type(heap, asdu, asdu_size, type_id, count,
+                                   sequence, cot, ca)
+
+    def _dispatch_type(self, heap: SimHeap, asdu: Pointer, asdu_size: int,
+                       type_id: int, count: int, sequence: bool, cot: int,
+                       ca: int) -> Optional[bytes]:
+        if type_id == codec.C_IC_NA_1:
+            return self._interrogation(heap, asdu, asdu_size, cot, ca)
+        if type_id == codec.C_CI_NA_1:
+            return self._counter_interrogation(heap, asdu, asdu_size, cot, ca)
+        if type_id == codec.C_CS_NA_1:
+            return self._clock_sync(heap, asdu, asdu_size, cot, ca)
+        if type_id == codec.C_RD_NA_1:
+            return self._read_command(heap, asdu, asdu_size, cot, ca)
+        if type_id in (codec.C_SC_NA_1, codec.C_DC_NA_1, codec.C_RC_NA_1):
+            return self._simple_command(heap, asdu, asdu_size, type_id,
+                                        cot, ca)
+        if type_id in (codec.C_SE_NA_1, codec.C_SE_NB_1, codec.C_SE_NC_1):
+            return self._setpoint(heap, asdu, asdu_size, type_id, cot, ca)
+        # monitor-direction types received by a slave: decode and drop
+        return self._monitor_data(heap, asdu, asdu_size, type_id, count,
+                                  sequence)
+
+    # -- control-direction handlers -------------------------------------------
+
+    def _interrogation(self, heap: SimHeap, asdu: Pointer, asdu_size: int,
+                       cot: int, ca: int) -> Optional[bytes]:
+        if cot not in (codec.COT_ACTIVATION, codec.COT_DEACTIVATION):
+            return self._confirm(codec.C_IC_NA_1, 1, codec.COT_UNKNOWN_COT,
+                                 ca)
+        if asdu_size < 10:
+            return None
+        qoi = heap.read_u8(asdu, 9, "cs104_slave.c:qoi")
+        if qoi != 20 and not 21 <= qoi <= 36:
+            return self._confirm(codec.C_IC_NA_1, 1,
+                                 codec.COT_ACTIVATION_CON, ca)
+        objects = codec.build_object(0, bytes((qoi,)))
+        reply = codec.build_asdu(codec.C_IC_NA_1, 1, False,
+                                 codec.COT_ACTIVATION_CON, 0, ca, objects)
+        return self._send(reply)
+
+    def _counter_interrogation(self, heap: SimHeap, asdu: Pointer,
+                               asdu_size: int, cot: int,
+                               ca: int) -> Optional[bytes]:
+        if cot != codec.COT_ACTIVATION:
+            return self._confirm(codec.C_CI_NA_1, 1, codec.COT_UNKNOWN_COT,
+                                 ca)
+        if asdu_size < 10:
+            return None
+        qcc = heap.read_u8(asdu, 9, "cs104_slave.c:qcc")
+        freeze = (qcc >> 6) & 0x03
+        group = qcc & 0x3F
+        if group > 4:
+            return self._confirm(codec.C_CI_NA_1, 1,
+                                 codec.COT_ACTIVATION_CON, ca)
+        objects = codec.build_object(0, bytes((qcc,)))
+        cot_out = codec.COT_ACTIVATION_CON if freeze == 0 else \
+            codec.COT_ACTIVATION_TERMINATION
+        reply = codec.build_asdu(codec.C_CI_NA_1, 1, False, cot_out, 0, ca,
+                                 objects)
+        return self._send(reply)
+
+    def _clock_sync(self, heap: SimHeap, asdu: Pointer, asdu_size: int,
+                    cot: int, ca: int) -> Optional[bytes]:
+        if cot != codec.COT_ACTIVATION:
+            return self._confirm(codec.C_CS_NA_1, 1, codec.COT_UNKNOWN_COT,
+                                 ca)
+        # SEEDED BUG (lib60870 row, SEGV #3): the handler trusts the type
+        # table and reads the 7 CP56Time2a octets from a computed offset
+        # without checking the ASDU actually carries them.
+        time_octets = []
+        for index in range(7):
+            octet = heap.deref_read(asdu.address + 9 + index, 1,
+                                    "cs104_slave.c:handle_clock_sync")[0]
+            time_octets.append(octet)
+        minute = time_octets[2] & 0x3F
+        hour = time_octets[3] & 0x1F
+        if minute > 59 or hour > 23:
+            return self._confirm(codec.C_CS_NA_1, 1,
+                                 codec.COT_ACTIVATION_CON, ca)
+        objects = codec.build_object(0, bytes(time_octets))
+        reply = codec.build_asdu(codec.C_CS_NA_1, 1, False,
+                                 codec.COT_ACTIVATION_CON, 0, ca, objects)
+        return self._send(reply)
+
+    def _read_command(self, heap: SimHeap, asdu: Pointer, asdu_size: int,
+                      cot: int, ca: int) -> Optional[bytes]:
+        if cot != 5:  # request
+            return self._confirm(codec.C_RD_NA_1, 1, codec.COT_UNKNOWN_COT,
+                                 ca)
+        ioa = self._read_ioa(heap, asdu)
+        if not IOA_BASE <= ioa < IOA_BASE + OBJECT_TABLE_ENTRIES:
+            return self._confirm(codec.C_RD_NA_1, 1, codec.COT_UNKNOWN_IOA,
+                                 ca)
+        objects = codec.build_object(ioa, bytes((0x00, 0x10, 0x00)))
+        reply = codec.build_asdu(codec.M_ME_NB_1, 1, False, 5, 0, ca, objects)
+        return self._send(reply)
+
+    def _simple_command(self, heap: SimHeap, asdu: Pointer, asdu_size: int,
+                        type_id: int, cot: int, ca: int) -> Optional[bytes]:
+        if cot not in (codec.COT_ACTIVATION, codec.COT_DEACTIVATION):
+            return self._confirm(type_id, 1, codec.COT_UNKNOWN_COT, ca)
+        if asdu_size < 10:
+            return None
+        ioa = self._read_ioa(heap, asdu)
+        qualifier = heap.read_u8(asdu, 9, "cs101_slave.c:command_qualifier")
+        if not IOA_BASE <= ioa < IOA_BASE + OBJECT_TABLE_ENTRIES:
+            return self._confirm(type_id, 1, codec.COT_UNKNOWN_IOA, ca)
+        if type_id == codec.C_DC_NA_1 and qualifier & 0x03 in (0, 3):
+            # double command state 0/3 is invalid
+            return self._confirm(type_id, 1, codec.COT_ACTIVATION_CON, ca)
+        select = bool(qualifier & 0x80)
+        cot_out = codec.COT_ACTIVATION_CON if not select else \
+            codec.COT_ACTIVATION_CON
+        objects = codec.build_object(ioa, bytes((qualifier,)))
+        reply = codec.build_asdu(type_id, 1, False, cot_out, 0, ca, objects)
+        return self._send(reply)
+
+    def _setpoint(self, heap: SimHeap, asdu: Pointer, asdu_size: int,
+                  type_id: int, cot: int, ca: int) -> Optional[bytes]:
+        if cot != codec.COT_ACTIVATION:
+            return self._confirm(type_id, 1, codec.COT_UNKNOWN_COT, ca)
+        element_size = codec.ELEMENT_SIZE[type_id]  # value octets + QOS
+        if asdu_size < 6 + 3 + element_size:
+            return None
+        ioa = self._read_ioa(heap, asdu)
+        qos = heap.read_u8(asdu, 9 + element_size - 1,
+                           "cs101_slave.c:setpoint_qos")
+        if qos & 0x7F > 31:
+            return self._confirm(type_id, 1, codec.COT_ACTIVATION_CON, ca)
+        # SEEDED BUG (lib60870 row, SEGV #2): the slave database lookup
+        # computes the entry address straight from the packet-supplied IOA.
+        table = heap.malloc(OBJECT_TABLE_ENTRIES * OBJECT_ENTRY_SIZE,
+                            "object-table")
+        entry_address = table.address + (ioa - IOA_BASE) * OBJECT_ENTRY_SIZE
+        entry_flags = heap.deref_read(entry_address, 1,
+                                      "cs101_slave.c:lookup_object")[0]
+        value = heap.read(asdu, 9, element_size - 1,
+                          "cs101_slave.c:setpoint_value")
+        if entry_flags & 0x01:
+            return self._confirm(type_id, 1, codec.COT_ACTIVATION_CON, ca)
+        objects = codec.build_object(ioa, value)
+        reply = codec.build_asdu(type_id, 1, False,
+                                 codec.COT_ACTIVATION_CON, 0, ca, objects)
+        return self._send(reply)
+
+    # -- monitor-direction decode ------------------------------------------
+
+    def _monitor_data(self, heap: SimHeap, asdu: Pointer, asdu_size: int,
+                      type_id: int, count: int,
+                      sequence: bool) -> Optional[bytes]:
+        element_size = codec.ELEMENT_SIZE[type_id]
+        offset = 6
+        decoded = 0
+        for index in range(count):
+            if sequence and index > 0:
+                step = element_size  # IOA omitted after the first object
+            else:
+                step = 3 + element_size
+            if offset + step > asdu_size:
+                return None  # truncated object list: dropped (checked!)
+            if not sequence or index == 0:
+                offset += 3
+            if element_size:
+                element = heap.read(asdu, offset, element_size,
+                                    "cs101_asdu.c:decode_element")
+                self._decode_element(type_id, element)
+            offset += element_size
+            decoded += 1
+        return None  # monitor data from a peer produces no reply
+
+    def _decode_element(self, type_id: int, element: bytes) -> None:
+        if type_id in (codec.M_SP_NA_1, codec.M_EI_NA_1):
+            _value = element[0] & 0x01
+        elif type_id == codec.M_DP_NA_1:
+            _value = element[0] & 0x03
+        elif type_id == codec.M_ST_NA_1:
+            _value = element[0] & 0x7F
+        elif type_id in (codec.M_ME_NA_1, codec.M_ME_NB_1):
+            _value = int.from_bytes(element[0:2], "little", signed=True)
+        elif type_id == codec.M_ME_NC_1:
+            _value = int.from_bytes(element[0:4], "little")
+        elif type_id == codec.M_IT_NA_1:
+            _value = int.from_bytes(element[0:4], "little", signed=True)
+        elif type_id in (codec.M_BO_NA_1, codec.M_SP_TB_1):
+            _value = int.from_bytes(element[0:4], "little")
+        else:
+            _value = 0
+
+    # -- shared reply plumbing ------------------------------------------------
+
+    def _read_ioa(self, heap: SimHeap, asdu: Pointer) -> int:
+        raw = heap.read(asdu, 6, 3, "cs101_asdu.c:read_ioa")
+        return int.from_bytes(raw, "little")
+
+    def _confirm(self, type_id: int, vsq: int, cot: int,
+                 ca: int) -> Optional[bytes]:
+        reply = codec.build_asdu(type_id, vsq & 0x7F or 1, False,
+                                 cot | 0x40, 0, ca or 1, b"")
+        return self._send(reply)
+
+    def _send(self, asdu: bytes) -> bytes:
+        frame = codec.build_apci_i(self.send_seq, self.recv_seq, asdu)
+        self.send_seq = (self.send_seq + 1) & 0x7FFF
+        return frame

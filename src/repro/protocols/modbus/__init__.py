@@ -1,0 +1,18 @@
+"""libmodbus-analog target: Modbus/TCP server, codec and pit."""
+
+from repro.protocols.modbus.codec import (
+    ALL_FUNCTION_CODES, build_diagnostics, build_mask_write, build_mbap,
+    build_read_request, build_read_write_multiple, build_write_multiple_coils,
+    build_write_multiple_registers, build_write_single, parse_mbap,
+    parse_response,
+)
+from repro.protocols.modbus.model import make_pit
+from repro.protocols.modbus.server import ModbusServer
+
+__all__ = [
+    "ALL_FUNCTION_CODES", "ModbusServer", "build_diagnostics",
+    "build_mask_write", "build_mbap", "build_read_request",
+    "build_read_write_multiple", "build_write_multiple_coils",
+    "build_write_multiple_registers", "build_write_single", "make_pit",
+    "parse_mbap", "parse_response",
+]

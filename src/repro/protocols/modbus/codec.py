@@ -1,0 +1,176 @@
+"""Modbus/TCP frame codec (MBAP + PDU) — safe helpers.
+
+Pure build/parse functions for well-formed Modbus frames, used by the
+data models' defaults, the tests and the examples.  The fuzzed code path
+is :mod:`repro.protocols.modbus.server`, which re-implements parsing
+C-style against the simulated heap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+PROTOCOL_ID = 0
+
+# Function codes (the "opcode" field of the paper's motivation section).
+FC_READ_COILS = 0x01
+FC_READ_DISCRETE_INPUTS = 0x02
+FC_READ_HOLDING_REGISTERS = 0x03
+FC_READ_INPUT_REGISTERS = 0x04
+FC_WRITE_SINGLE_COIL = 0x05
+FC_WRITE_SINGLE_REGISTER = 0x06
+FC_READ_EXCEPTION_STATUS = 0x07
+FC_DIAGNOSTICS = 0x08
+FC_GET_COMM_EVENT_COUNTER = 0x0B
+FC_WRITE_MULTIPLE_COILS = 0x0F
+FC_WRITE_MULTIPLE_REGISTERS = 0x10
+FC_REPORT_SERVER_ID = 0x11
+FC_MASK_WRITE_REGISTER = 0x16
+FC_READ_WRITE_MULTIPLE_REGISTERS = 0x17
+FC_READ_DEVICE_IDENTIFICATION = 0x2B
+
+ALL_FUNCTION_CODES = (
+    FC_READ_COILS, FC_READ_DISCRETE_INPUTS, FC_READ_HOLDING_REGISTERS,
+    FC_READ_INPUT_REGISTERS, FC_WRITE_SINGLE_COIL, FC_WRITE_SINGLE_REGISTER,
+    FC_READ_EXCEPTION_STATUS, FC_DIAGNOSTICS, FC_GET_COMM_EVENT_COUNTER,
+    FC_WRITE_MULTIPLE_COILS, FC_WRITE_MULTIPLE_REGISTERS,
+    FC_REPORT_SERVER_ID, FC_MASK_WRITE_REGISTER,
+    FC_READ_WRITE_MULTIPLE_REGISTERS, FC_READ_DEVICE_IDENTIFICATION,
+)
+
+# Exception codes
+EX_ILLEGAL_FUNCTION = 0x01
+EX_ILLEGAL_DATA_ADDRESS = 0x02
+EX_ILLEGAL_DATA_VALUE = 0x03
+EX_SERVER_DEVICE_FAILURE = 0x04
+
+
+@dataclass
+class MbapHeader:
+    transaction_id: int
+    protocol_id: int
+    length: int
+    unit_id: int
+
+
+def build_mbap(transaction_id: int, unit_id: int, pdu: bytes) -> bytes:
+    """Prepend an MBAP header; ``length`` covers unit id + PDU."""
+    length = len(pdu) + 1
+    return (transaction_id.to_bytes(2, "big")
+            + PROTOCOL_ID.to_bytes(2, "big")
+            + length.to_bytes(2, "big")
+            + bytes((unit_id,))
+            + pdu)
+
+
+def parse_mbap(frame: bytes) -> tuple:
+    """Split a frame into ``(MbapHeader, pdu)``; raises ValueError."""
+    if len(frame) < 8:
+        raise ValueError("frame shorter than MBAP header + function code")
+    header = MbapHeader(
+        transaction_id=int.from_bytes(frame[0:2], "big"),
+        protocol_id=int.from_bytes(frame[2:4], "big"),
+        length=int.from_bytes(frame[4:6], "big"),
+        unit_id=frame[6],
+    )
+    if header.protocol_id != PROTOCOL_ID:
+        raise ValueError(f"bad protocol id {header.protocol_id}")
+    if header.length != len(frame) - 6:
+        raise ValueError(
+            f"MBAP length {header.length} != actual {len(frame) - 6}")
+    return header, frame[7:]
+
+
+def build_read_request(fc: int, address: int, quantity: int,
+                       transaction_id: int = 1, unit_id: int = 1) -> bytes:
+    """FC 0x01-0x04 request."""
+    pdu = bytes((fc,)) + address.to_bytes(2, "big") + quantity.to_bytes(2, "big")
+    return build_mbap(transaction_id, unit_id, pdu)
+
+
+def build_write_single(fc: int, address: int, value: int,
+                       transaction_id: int = 1, unit_id: int = 1) -> bytes:
+    """FC 0x05/0x06 request."""
+    pdu = bytes((fc,)) + address.to_bytes(2, "big") + value.to_bytes(2, "big")
+    return build_mbap(transaction_id, unit_id, pdu)
+
+
+def build_write_multiple_registers(address: int, values,
+                                   transaction_id: int = 1,
+                                   unit_id: int = 1) -> bytes:
+    """FC 0x10 request with consistent quantity/byte count."""
+    data = b"".join(value.to_bytes(2, "big") for value in values)
+    pdu = (bytes((FC_WRITE_MULTIPLE_REGISTERS,))
+           + address.to_bytes(2, "big")
+           + len(values).to_bytes(2, "big")
+           + bytes((len(data),))
+           + data)
+    return build_mbap(transaction_id, unit_id, pdu)
+
+
+def build_write_multiple_coils(address: int, bits,
+                               transaction_id: int = 1,
+                               unit_id: int = 1) -> bytes:
+    """FC 0x0F request packing *bits* (booleans) LSB-first."""
+    quantity = len(bits)
+    byte_count = (quantity + 7) // 8
+    packed = bytearray(byte_count)
+    for index, bit in enumerate(bits):
+        if bit:
+            packed[index // 8] |= 1 << (index % 8)
+    pdu = (bytes((FC_WRITE_MULTIPLE_COILS,))
+           + address.to_bytes(2, "big")
+           + quantity.to_bytes(2, "big")
+           + bytes((byte_count,))
+           + bytes(packed))
+    return build_mbap(transaction_id, unit_id, pdu)
+
+
+def build_mask_write(address: int, and_mask: int, or_mask: int,
+                     transaction_id: int = 1, unit_id: int = 1) -> bytes:
+    """FC 0x16 request."""
+    pdu = (bytes((FC_MASK_WRITE_REGISTER,))
+           + address.to_bytes(2, "big")
+           + and_mask.to_bytes(2, "big")
+           + or_mask.to_bytes(2, "big"))
+    return build_mbap(transaction_id, unit_id, pdu)
+
+
+def build_read_write_multiple(read_address: int, read_quantity: int,
+                              write_address: int, values,
+                              transaction_id: int = 1,
+                              unit_id: int = 1) -> bytes:
+    """FC 0x17 request."""
+    data = b"".join(value.to_bytes(2, "big") for value in values)
+    pdu = (bytes((FC_READ_WRITE_MULTIPLE_REGISTERS,))
+           + read_address.to_bytes(2, "big")
+           + read_quantity.to_bytes(2, "big")
+           + write_address.to_bytes(2, "big")
+           + len(values).to_bytes(2, "big")
+           + bytes((len(data),))
+           + data)
+    return build_mbap(transaction_id, unit_id, pdu)
+
+
+def build_diagnostics(sub_function: int, data: int = 0,
+                      transaction_id: int = 1, unit_id: int = 1) -> bytes:
+    """FC 0x08 request."""
+    pdu = (bytes((FC_DIAGNOSTICS,))
+           + sub_function.to_bytes(2, "big")
+           + data.to_bytes(2, "big"))
+    return build_mbap(transaction_id, unit_id, pdu)
+
+
+def parse_response(frame: bytes) -> tuple:
+    """Return ``(fc, payload, exception_code)``; exception_code is None
+    for normal responses."""
+    _, pdu = parse_mbap(frame)
+    if not pdu:
+        raise ValueError("empty PDU")
+    fc = pdu[0]
+    if fc & 0x80:
+        if len(pdu) < 2:
+            raise ValueError("truncated exception response")
+        return fc & 0x7F, b"", pdu[1]
+    return fc, pdu[1:], None

@@ -1,0 +1,129 @@
+"""Peach pit for the Modbus/TCP target.
+
+One data model per packet type ("function code" — the opcode field the
+paper's motivation section centres on), all sharing MBAP framing and a
+set of common construction rules: ``address``, ``quantity``,
+``byte_count`` and register payloads.  The shared semantic tags are what
+lets the Packet Cracker donate puzzles across models (paper Fig. 2a: the
+chunks of *write single register* and *write single coil* conform to the
+same rules).
+
+Defaults instantiate to valid requests, mirroring how real Peach pits
+ship with sane defaults; the mutators then wander from there.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.model import (
+    Blob, Block, DataModel, Number, Pit, size_of,
+)
+from repro.protocols.modbus import codec
+
+
+def _mbap_models(name: str, fc: int, fields: Sequence, weight: float = 1.0,
+                 ) -> DataModel:
+    """Wrap *fields* (the PDU data after the function code) in MBAP."""
+    body_children: List = [
+        Number("unit_id", 1, default=1, semantic="unit_id"),
+        Number("function", 1, default=fc, token=True, semantic="function"),
+    ]
+    body_children.extend(fields)
+    root = Block(f"{name}.frame", [
+        Number("transaction_id", 2, default=1, semantic="transaction_id"),
+        Number("protocol_id", 2, default=0, token=True,
+               semantic="protocol_id"),
+        size_of(Number("length", 2, semantic="mbap_length"), "body"),
+        Block("body", body_children),
+    ])
+    return DataModel(f"modbus.{name}", root, weight=weight)
+
+
+def _address(name: str = "address") -> Number:
+    return Number(name, 2, default=0, semantic="address")
+
+
+def _quantity(name: str = "quantity") -> Number:
+    return Number(name, 2, default=1, semantic="quantity")
+
+
+def make_pit() -> Pit:
+    """Build the Modbus pit (16 data models, one per packet type)."""
+    models = [
+        _mbap_models("read_coils", codec.FC_READ_COILS,
+                     [_address(), _quantity()]),
+        _mbap_models("read_discrete_inputs", codec.FC_READ_DISCRETE_INPUTS,
+                     [_address(), _quantity()]),
+        _mbap_models("read_holding_registers",
+                     codec.FC_READ_HOLDING_REGISTERS,
+                     [_address(), _quantity()]),
+        _mbap_models("read_input_registers", codec.FC_READ_INPUT_REGISTERS,
+                     [_address(), _quantity()]),
+        _mbap_models("write_single_coil", codec.FC_WRITE_SINGLE_COIL,
+                     [_address(),
+                      Number("value", 2, default=0xFF00,
+                             semantic="coil_value")]),
+        _mbap_models("write_single_register", codec.FC_WRITE_SINGLE_REGISTER,
+                     [_address(),
+                      Number("value", 2, default=0x1234,
+                             semantic="register_value")]),
+        _mbap_models("read_exception_status",
+                     codec.FC_READ_EXCEPTION_STATUS, []),
+        _mbap_models("diagnostics", codec.FC_DIAGNOSTICS,
+                     [Number("sub_function", 2, default=0,
+                             semantic="diag_sub_function"),
+                      Number("data", 2, default=0xA537,
+                             semantic="diag_data")]),
+        _mbap_models("get_comm_event_counter",
+                     codec.FC_GET_COMM_EVENT_COUNTER, []),
+        _mbap_models("write_multiple_coils", codec.FC_WRITE_MULTIPLE_COILS,
+                     [_address(), _quantity("quantity"),
+                      size_of(Number("byte_count", 1,
+                                     semantic="byte_count"), "bit_data"),
+                      Blob("bit_data", default=b"\x01", max_length=246,
+                           semantic="bit_data")]),
+        _mbap_models("write_multiple_registers",
+                     codec.FC_WRITE_MULTIPLE_REGISTERS,
+                     [_address(), _quantity("quantity"),
+                      size_of(Number("byte_count", 1,
+                                     semantic="byte_count"), "reg_data"),
+                      Blob("reg_data", default=b"\x00\x2a", max_length=246,
+                           semantic="register_data")]),
+        _mbap_models("report_server_id", codec.FC_REPORT_SERVER_ID, []),
+        _mbap_models("mask_write_register", codec.FC_MASK_WRITE_REGISTER,
+                     [_address(),
+                      Number("and_mask", 2, default=0xFFFF, semantic="mask"),
+                      Number("or_mask", 2, default=0x0000, semantic="mask")]),
+        _mbap_models("read_write_multiple",
+                     codec.FC_READ_WRITE_MULTIPLE_REGISTERS,
+                     [_address("read_address"), _quantity("read_quantity"),
+                      _address("write_address"),
+                      _quantity("write_quantity"),
+                      size_of(Number("byte_count", 1,
+                                     semantic="byte_count"), "reg_data"),
+                      Blob("reg_data", default=b"\x00\x2a", max_length=246,
+                           semantic="register_data")]),
+        _mbap_models("read_device_identification",
+                     codec.FC_READ_DEVICE_IDENTIFICATION,
+                     [Number("mei_type", 1, default=0x0E,
+                             semantic="mei_type"),
+                      Number("read_code", 1, default=0x01,
+                             semantic="devid_read_code"),
+                      Number("object_id", 1, default=0x00,
+                             semantic="devid_object")]),
+        # Coarse fallback model: framing only, opaque PDU.  Real pits are
+        # often this coarse (paper §V-A: "the input model does not have to
+        # be elaborate"); it also supplies truncated/odd PDUs.
+        _mbap_models("raw_pdu", 0x00, [
+            Blob("pdu", default=b"\x03\x00\x00\x00\x01", max_length=64,
+                 semantic="raw_pdu"),
+        ], weight=0.5),
+    ]
+    # the raw model's function byte must not be a token: drop the token
+    # flag by rebuilding its function field
+    raw = models[-1]
+    function_field = raw.root.child("body").child("function")
+    function_field.token = False
+    function_field.values = None
+    return Pit("modbus", models)

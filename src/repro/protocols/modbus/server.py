@@ -1,0 +1,530 @@
+"""libmodbus-analog server: the fuzzed Modbus/TCP target.
+
+This is the program-under-test for the libmodbus rows of the paper's
+evaluation.  It re-implements libmodbus's request processing C-style: the
+incoming frame is copied into a simulated-heap buffer and every access
+goes through checked heap reads, so memory-safety mistakes surface as
+typed faults.
+
+Two vulnerabilities are seeded, matching Table I's libmodbus row
+(1 heap-use-after-free + 1 SEGV):
+
+* ``modbus.c:respond_exception_after_free`` — when a WRITE MULTIPLE
+  REGISTERS request carries a *valid* quantity but an inconsistent byte
+  count, the request buffer is freed before the exception response is
+  formatted, which then re-reads the function code from the freed buffer
+  (heap-use-after-free).
+* ``modbus.c:fc23_read_registers`` — READ/WRITE MULTIPLE REGISTERS
+  computes the source address of the read-back phase from the unchecked
+  read_address field (SEGV on wild address).
+
+Both require several validity conditions to hold simultaneously, which is
+what makes them "deep" for a random generator and easy prey for
+coverage-guided packet crack and generation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.protocols.modbus import codec
+from repro.runtime.target import ProtocolServer
+from repro.sanitizer.heap import Pointer, SimHeap
+
+# Server register map sizes (libmodbus's mb_mapping_new defaults scaled).
+NB_COILS = 512
+NB_DISCRETE_INPUTS = 512
+NB_HOLDING_REGISTERS = 512
+NB_INPUT_REGISTERS = 256
+
+MAX_READ_BITS = 2000
+MAX_READ_REGISTERS = 125
+MAX_WRITE_BITS = 1968
+MAX_WRITE_REGISTERS = 123
+MAX_WR_READ_REGISTERS = 125
+
+_DEVICE_ID_OBJECTS = {
+    0x00: b"repro-modbus",
+    0x01: b"libmodbus-analog",
+    0x02: b"v1.0",
+}
+
+
+class ModbusServer(ProtocolServer):
+    """Stateful Modbus/TCP responder with libmodbus-shaped control flow."""
+
+    name = "libmodbus"
+
+    def __init__(self):
+        self.event_counter = 0
+        self.diagnostic_register = 0
+        self.listen_only = False
+
+    def reset(self) -> None:
+        self.event_counter = 0
+        self.diagnostic_register = 0
+        self.listen_only = False
+
+    # ------------------------------------------------------------------
+    # frame entry
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, heap: SimHeap, data: bytes) -> Optional[bytes]:
+        """Process one TCP frame; returns the response frame or None."""
+        if len(data) < 8:
+            return None  # libmodbus waits for more bytes
+        req = heap.malloc_from(data, "request-frame")
+        transaction_id = heap.read_u16(req, 0, "modbus.c:mbap_tid")
+        protocol_id = heap.read_u16(req, 2, "modbus.c:mbap_pid")
+        length = heap.read_u16(req, 4, "modbus.c:mbap_len")
+        unit_id = heap.read_u8(req, 6, "modbus.c:mbap_uid")
+        if protocol_id != codec.PROTOCOL_ID:
+            heap.free(req, "modbus.c:drop_bad_protocol")
+            return None
+        if length != len(data) - 6:
+            heap.free(req, "modbus.c:drop_bad_length")
+            return None
+        if length < 2:
+            heap.free(req, "modbus.c:drop_short_pdu")
+            return None
+        function = heap.read_u8(req, 7, "modbus.c:read_function")
+        # allocate the register map the way mb_mapping_new does
+        mapping = _Mapping(heap)
+        pdu_len = length - 2  # bytes after the function code
+        response = self._dispatch(heap, req, mapping, function, pdu_len,
+                                  transaction_id, unit_id)
+        return response
+
+    def _dispatch(self, heap: SimHeap, req: Pointer, mapping: "_Mapping",
+                  function: int, pdu_len: int, transaction_id: int,
+                  unit_id: int) -> Optional[bytes]:
+        if function == codec.FC_READ_COILS:
+            return self._read_bits(heap, req, mapping.coils, NB_COILS,
+                                   function, pdu_len, transaction_id, unit_id)
+        if function == codec.FC_READ_DISCRETE_INPUTS:
+            return self._read_bits(heap, req, mapping.discrete_inputs,
+                                   NB_DISCRETE_INPUTS, function, pdu_len,
+                                   transaction_id, unit_id)
+        if function == codec.FC_READ_HOLDING_REGISTERS:
+            return self._read_registers(heap, req, mapping.holding_registers,
+                                        NB_HOLDING_REGISTERS, function,
+                                        pdu_len, transaction_id, unit_id)
+        if function == codec.FC_READ_INPUT_REGISTERS:
+            return self._read_registers(heap, req, mapping.input_registers,
+                                        NB_INPUT_REGISTERS, function,
+                                        pdu_len, transaction_id, unit_id)
+        if function == codec.FC_WRITE_SINGLE_COIL:
+            return self._write_single_coil(heap, req, mapping, pdu_len,
+                                           transaction_id, unit_id)
+        if function == codec.FC_WRITE_SINGLE_REGISTER:
+            return self._write_single_register(heap, req, mapping, pdu_len,
+                                               transaction_id, unit_id)
+        if function == codec.FC_READ_EXCEPTION_STATUS:
+            return self._read_exception_status(heap, req, transaction_id,
+                                               unit_id)
+        if function == codec.FC_DIAGNOSTICS:
+            return self._diagnostics(heap, req, pdu_len, transaction_id,
+                                     unit_id)
+        if function == codec.FC_GET_COMM_EVENT_COUNTER:
+            return self._comm_event_counter(heap, req, transaction_id,
+                                            unit_id)
+        if function == codec.FC_WRITE_MULTIPLE_COILS:
+            return self._write_multiple_coils(heap, req, mapping, pdu_len,
+                                              transaction_id, unit_id)
+        if function == codec.FC_WRITE_MULTIPLE_REGISTERS:
+            return self._write_multiple_registers(heap, req, mapping,
+                                                  pdu_len, transaction_id,
+                                                  unit_id)
+        if function == codec.FC_REPORT_SERVER_ID:
+            return self._report_server_id(heap, req, transaction_id, unit_id)
+        if function == codec.FC_MASK_WRITE_REGISTER:
+            return self._mask_write(heap, req, mapping, pdu_len,
+                                    transaction_id, unit_id)
+        if function == codec.FC_READ_WRITE_MULTIPLE_REGISTERS:
+            return self._read_write_multiple(heap, req, mapping, pdu_len,
+                                             transaction_id, unit_id)
+        if function == codec.FC_READ_DEVICE_IDENTIFICATION:
+            return self._device_identification(heap, req, pdu_len,
+                                               transaction_id, unit_id)
+        return self._exception(transaction_id, unit_id, function,
+                               codec.EX_ILLEGAL_FUNCTION)
+
+    # ------------------------------------------------------------------
+    # response helpers (shared code blocks of the paper's Fig. 2b)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _respond(transaction_id: int, unit_id: int, pdu: bytes) -> bytes:
+        return codec.build_mbap(transaction_id, unit_id, pdu)
+
+    def _exception(self, transaction_id: int, unit_id: int, function: int,
+                   code: int) -> bytes:
+        self.event_counter += 1
+        pdu = bytes(((function | 0x80) & 0xFF, code))
+        return self._respond(transaction_id, unit_id, pdu)
+
+    # ------------------------------------------------------------------
+    # FC 0x01 / 0x02 — read bits
+    # ------------------------------------------------------------------
+
+    def _read_bits(self, heap: SimHeap, req: Pointer, table: Pointer,
+                   table_size: int, function: int, pdu_len: int,
+                   transaction_id: int, unit_id: int) -> bytes:
+        if pdu_len != 4:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        address = heap.read_u16(req, 8, "modbus.c:read_bits_addr")
+        quantity = heap.read_u16(req, 10, "modbus.c:read_bits_quantity")
+        if quantity < 1 or quantity > MAX_READ_BITS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        if address + quantity > table_size:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_ADDRESS)
+        byte_count = (quantity + 7) // 8
+        out = bytearray(byte_count)
+        for index in range(quantity):
+            bit = heap.read_u8(table, address + index,
+                               "modbus.c:read_bits_loop") & 1
+            if bit:
+                out[index // 8] |= 1 << (index % 8)
+        self.event_counter += 1
+        pdu = bytes((function, byte_count)) + bytes(out)
+        return self._respond(transaction_id, unit_id, pdu)
+
+    # ------------------------------------------------------------------
+    # FC 0x03 / 0x04 — read registers
+    # ------------------------------------------------------------------
+
+    def _read_registers(self, heap: SimHeap, req: Pointer, table: Pointer,
+                        table_size: int, function: int, pdu_len: int,
+                        transaction_id: int, unit_id: int) -> bytes:
+        if pdu_len != 4:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        address = heap.read_u16(req, 8, "modbus.c:read_regs_addr")
+        quantity = heap.read_u16(req, 10, "modbus.c:read_regs_quantity")
+        if quantity < 1 or quantity > MAX_READ_REGISTERS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        if address + quantity > table_size:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_ADDRESS)
+        parts = []
+        for index in range(quantity):
+            value = heap.read_u16(table, (address + index) * 2,
+                                  "modbus.c:read_regs_loop")
+            parts.append(value.to_bytes(2, "big"))
+        self.event_counter += 1
+        pdu = bytes((function, quantity * 2)) + b"".join(parts)
+        return self._respond(transaction_id, unit_id, pdu)
+
+    # ------------------------------------------------------------------
+    # FC 0x05 / 0x06 — single writes
+    # ------------------------------------------------------------------
+
+    def _write_single_coil(self, heap: SimHeap, req: Pointer,
+                           mapping: "_Mapping", pdu_len: int,
+                           transaction_id: int, unit_id: int) -> bytes:
+        function = codec.FC_WRITE_SINGLE_COIL
+        if pdu_len != 4:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        address = heap.read_u16(req, 8, "modbus.c:write_coil_addr")
+        value = heap.read_u16(req, 10, "modbus.c:write_coil_value")
+        if value not in (0x0000, 0xFF00):
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        if address >= NB_COILS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_ADDRESS)
+        heap.write_u8(mapping.coils, address,
+                      1 if value == 0xFF00 else 0,
+                      "modbus.c:write_coil_store")
+        self.event_counter += 1
+        pdu = (bytes((function,)) + address.to_bytes(2, "big")
+               + value.to_bytes(2, "big"))
+        return self._respond(transaction_id, unit_id, pdu)
+
+    def _write_single_register(self, heap: SimHeap, req: Pointer,
+                               mapping: "_Mapping", pdu_len: int,
+                               transaction_id: int, unit_id: int) -> bytes:
+        function = codec.FC_WRITE_SINGLE_REGISTER
+        if pdu_len != 4:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        address = heap.read_u16(req, 8, "modbus.c:write_reg_addr")
+        value = heap.read_u16(req, 10, "modbus.c:write_reg_value")
+        if address >= NB_HOLDING_REGISTERS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_ADDRESS)
+        heap.write_u16(mapping.holding_registers, address * 2, value,
+                       "modbus.c:write_reg_store")
+        self.event_counter += 1
+        pdu = (bytes((function,)) + address.to_bytes(2, "big")
+               + value.to_bytes(2, "big"))
+        return self._respond(transaction_id, unit_id, pdu)
+
+    # ------------------------------------------------------------------
+    # FC 0x07 / 0x08 / 0x0B — status & diagnostics
+    # ------------------------------------------------------------------
+
+    def _read_exception_status(self, heap: SimHeap, req: Pointer,
+                               transaction_id: int, unit_id: int) -> bytes:
+        self.event_counter += 1
+        pdu = bytes((codec.FC_READ_EXCEPTION_STATUS, 0x00))
+        return self._respond(transaction_id, unit_id, pdu)
+
+    def _diagnostics(self, heap: SimHeap, req: Pointer, pdu_len: int,
+                     transaction_id: int, unit_id: int) -> bytes:
+        function = codec.FC_DIAGNOSTICS
+        if pdu_len != 4:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        sub_function = heap.read_u16(req, 8, "modbus.c:diag_sub")
+        data = heap.read_u16(req, 10, "modbus.c:diag_data")
+        if sub_function == 0x0000:  # return query data (echo)
+            payload = data
+        elif sub_function == 0x0001:  # restart communications option
+            self.listen_only = False
+            payload = data
+        elif sub_function == 0x0002:  # return diagnostic register
+            payload = self.diagnostic_register
+        elif sub_function == 0x0004:  # force listen only mode
+            self.listen_only = True
+            return None  # no response in listen-only transition
+        elif sub_function == 0x000A:  # clear counters
+            self.event_counter = 0
+            payload = 0
+        elif sub_function == 0x000B:  # bus message count
+            payload = self.event_counter & 0xFFFF
+        elif sub_function == 0x000C:  # bus comm error count
+            payload = 0
+        elif sub_function == 0x000D:  # bus exception count
+            payload = 0
+        elif sub_function == 0x000E:  # server message count
+            payload = self.event_counter & 0xFFFF
+        else:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_FUNCTION)
+        self.event_counter += 1
+        pdu = (bytes((function,)) + sub_function.to_bytes(2, "big")
+               + payload.to_bytes(2, "big"))
+        return self._respond(transaction_id, unit_id, pdu)
+
+    def _comm_event_counter(self, heap: SimHeap, req: Pointer,
+                            transaction_id: int, unit_id: int) -> bytes:
+        self.event_counter += 1
+        pdu = (bytes((codec.FC_GET_COMM_EVENT_COUNTER,))
+               + (0).to_bytes(2, "big")
+               + (self.event_counter & 0xFFFF).to_bytes(2, "big"))
+        return self._respond(transaction_id, unit_id, pdu)
+
+    # ------------------------------------------------------------------
+    # FC 0x0F — write multiple coils
+    # ------------------------------------------------------------------
+
+    def _write_multiple_coils(self, heap: SimHeap, req: Pointer,
+                              mapping: "_Mapping", pdu_len: int,
+                              transaction_id: int, unit_id: int) -> bytes:
+        function = codec.FC_WRITE_MULTIPLE_COILS
+        if pdu_len < 5:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        address = heap.read_u16(req, 8, "modbus.c:write_coils_addr")
+        quantity = heap.read_u16(req, 10, "modbus.c:write_coils_quantity")
+        byte_count = heap.read_u8(req, 12, "modbus.c:write_coils_bc")
+        if quantity < 1 or quantity > MAX_WRITE_BITS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        if byte_count != (quantity + 7) // 8 or pdu_len != 5 + byte_count:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        if address + quantity > NB_COILS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_ADDRESS)
+        for index in range(quantity):
+            byte = heap.read_u8(req, 13 + index // 8,
+                                "modbus.c:write_coils_loop")
+            bit = (byte >> (index % 8)) & 1
+            heap.write_u8(mapping.coils, address + index, bit,
+                          "modbus.c:write_coils_store")
+        self.event_counter += 1
+        pdu = (bytes((function,)) + address.to_bytes(2, "big")
+               + quantity.to_bytes(2, "big"))
+        return self._respond(transaction_id, unit_id, pdu)
+
+    # ------------------------------------------------------------------
+    # FC 0x10 — write multiple registers  [SEEDED BUG 1: use-after-free]
+    # ------------------------------------------------------------------
+
+    def _write_multiple_registers(self, heap: SimHeap, req: Pointer,
+                                  mapping: "_Mapping", pdu_len: int,
+                                  transaction_id: int, unit_id: int) -> bytes:
+        function = codec.FC_WRITE_MULTIPLE_REGISTERS
+        if pdu_len < 5:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        address = heap.read_u16(req, 8, "modbus.c:write_regs_addr")
+        quantity = heap.read_u16(req, 10, "modbus.c:write_regs_quantity")
+        byte_count = heap.read_u8(req, 12, "modbus.c:write_regs_bc")
+        if quantity < 1 or quantity > MAX_WRITE_REGISTERS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        if address + quantity > NB_HOLDING_REGISTERS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_ADDRESS)
+        if byte_count != quantity * 2 or pdu_len != 5 + byte_count:
+            # SEEDED BUG (libmodbus row, heap-use-after-free): the error
+            # path releases the request buffer, then formats the exception
+            # response from it.  Reached only with a valid quantity and
+            # in-range address but inconsistent byte count.
+            heap.free(req, "modbus.c:free_on_error")
+            bad_function = heap.read_u8(
+                req, 7, "modbus.c:respond_exception_after_free")
+            return self._exception(transaction_id, unit_id, bad_function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        for index in range(quantity):
+            value = heap.read_u16(req, 13 + index * 2,
+                                  "modbus.c:write_regs_loop")
+            heap.write_u16(mapping.holding_registers,
+                           (address + index) * 2, value,
+                           "modbus.c:write_regs_store")
+        self.event_counter += 1
+        pdu = (bytes((function,)) + address.to_bytes(2, "big")
+               + quantity.to_bytes(2, "big"))
+        return self._respond(transaction_id, unit_id, pdu)
+
+    # ------------------------------------------------------------------
+    # FC 0x11 — report server id
+    # ------------------------------------------------------------------
+
+    def _report_server_id(self, heap: SimHeap, req: Pointer,
+                          transaction_id: int, unit_id: int) -> bytes:
+        self.event_counter += 1
+        body = b"\x0arepro-server\xff"
+        pdu = bytes((codec.FC_REPORT_SERVER_ID, len(body))) + body
+        return self._respond(transaction_id, unit_id, pdu)
+
+    # ------------------------------------------------------------------
+    # FC 0x16 — mask write register
+    # ------------------------------------------------------------------
+
+    def _mask_write(self, heap: SimHeap, req: Pointer, mapping: "_Mapping",
+                    pdu_len: int, transaction_id: int, unit_id: int) -> bytes:
+        function = codec.FC_MASK_WRITE_REGISTER
+        if pdu_len != 6:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        address = heap.read_u16(req, 8, "modbus.c:mask_write_addr")
+        and_mask = heap.read_u16(req, 10, "modbus.c:mask_write_and")
+        or_mask = heap.read_u16(req, 12, "modbus.c:mask_write_or")
+        if address >= NB_HOLDING_REGISTERS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_ADDRESS)
+        current = heap.read_u16(mapping.holding_registers, address * 2,
+                                "modbus.c:mask_write_load")
+        updated = (current & and_mask) | (or_mask & ~and_mask & 0xFFFF)
+        heap.write_u16(mapping.holding_registers, address * 2, updated,
+                       "modbus.c:mask_write_store")
+        self.event_counter += 1
+        pdu = (bytes((function,)) + address.to_bytes(2, "big")
+               + and_mask.to_bytes(2, "big") + or_mask.to_bytes(2, "big"))
+        return self._respond(transaction_id, unit_id, pdu)
+
+    # ------------------------------------------------------------------
+    # FC 0x17 — read/write multiple registers  [SEEDED BUG 2: SEGV]
+    # ------------------------------------------------------------------
+
+    def _read_write_multiple(self, heap: SimHeap, req: Pointer,
+                             mapping: "_Mapping", pdu_len: int,
+                             transaction_id: int, unit_id: int) -> bytes:
+        function = codec.FC_READ_WRITE_MULTIPLE_REGISTERS
+        if pdu_len < 9:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        read_address = heap.read_u16(req, 8, "modbus.c:fc23_read_addr")
+        read_quantity = heap.read_u16(req, 10, "modbus.c:fc23_read_quantity")
+        write_address = heap.read_u16(req, 12, "modbus.c:fc23_write_addr")
+        write_quantity = heap.read_u16(req, 14, "modbus.c:fc23_write_quantity")
+        byte_count = heap.read_u8(req, 16, "modbus.c:fc23_bc")
+        if write_quantity < 1 or write_quantity > MAX_WRITE_REGISTERS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        if byte_count != write_quantity * 2 or pdu_len != 9 + byte_count:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        if write_address + write_quantity > NB_HOLDING_REGISTERS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_ADDRESS)
+        if read_quantity < 1 or read_quantity > MAX_WR_READ_REGISTERS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        # write phase
+        for index in range(write_quantity):
+            value = heap.read_u16(req, 17 + index * 2,
+                                  "modbus.c:fc23_write_loop")
+            heap.write_u16(mapping.holding_registers,
+                           (write_address + index) * 2, value,
+                           "modbus.c:fc23_write_store")
+        # SEEDED BUG (libmodbus row, SEGV): the read-back phase computes
+        # the source address from read_address without the range check the
+        # plain FC 0x03 path performs — a wild read for large addresses.
+        parts = []
+        for index in range(read_quantity):
+            source = (mapping.holding_registers.address
+                      + (read_address + index) * 2)
+            raw = heap.deref_read(source, 1, "modbus.c:fc23_read_registers")
+            raw += heap.deref_read(source + 1, 1,
+                                   "modbus.c:fc23_read_registers")
+            parts.append(raw)
+        self.event_counter += 1
+        pdu = bytes((function, read_quantity * 2)) + b"".join(parts)
+        return self._respond(transaction_id, unit_id, pdu)
+
+    # ------------------------------------------------------------------
+    # FC 0x2B — read device identification
+    # ------------------------------------------------------------------
+
+    def _device_identification(self, heap: SimHeap, req: Pointer,
+                               pdu_len: int, transaction_id: int,
+                               unit_id: int) -> bytes:
+        function = codec.FC_READ_DEVICE_IDENTIFICATION
+        if pdu_len != 3:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        mei_type = heap.read_u8(req, 8, "modbus.c:mei_type")
+        read_code = heap.read_u8(req, 9, "modbus.c:devid_read_code")
+        object_id = heap.read_u8(req, 10, "modbus.c:devid_object")
+        if mei_type != 0x0E:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_FUNCTION)
+        if read_code not in (0x01, 0x02, 0x03, 0x04):
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_VALUE)
+        if object_id not in _DEVICE_ID_OBJECTS:
+            return self._exception(transaction_id, unit_id, function,
+                                   codec.EX_ILLEGAL_DATA_ADDRESS)
+        value = _DEVICE_ID_OBJECTS[object_id]
+        body = (bytes((mei_type, read_code, 0x01, 0x00, 0x01, object_id,
+                       len(value))) + value)
+        self.event_counter += 1
+        pdu = bytes((function,)) + body
+        return self._respond(transaction_id, unit_id, pdu)
+
+
+class _Mapping:
+    """The register map (libmodbus ``modbus_mapping_t``)."""
+
+    def __init__(self, heap: SimHeap):
+        self.coils = heap.malloc(NB_COILS, "coil-table")
+        self.discrete_inputs = heap.malloc(NB_DISCRETE_INPUTS,
+                                           "discrete-input-table")
+        self.holding_registers = heap.malloc(NB_HOLDING_REGISTERS * 2,
+                                             "holding-register-table")
+        self.input_registers = heap.malloc(NB_INPUT_REGISTERS * 2,
+                                           "input-register-table")
+        # a few non-zero defaults so read responses vary
+        heap.write_u16(self.holding_registers, 0, 0x1234, "mapping-init")
+        heap.write_u16(self.holding_registers, 2, 0x5678, "mapping-init")
+        heap.write_u8(self.coils, 0, 1, "mapping-init")

@@ -1,0 +1,17 @@
+"""Instrumented-target runtime: coverage maps, collectors, clock, harness."""
+
+from repro.runtime.clock import CostModel, SimulatedClock
+from repro.runtime.coverage import (
+    MAP_SIZE, CoverageMap, GlobalCoverage, bucket_count,
+)
+from repro.runtime.instrument import (
+    Collector, ExplicitCollector, HangBudgetExceeded, TracingCollector,
+)
+from repro.runtime.target import ExecResult, ProtocolServer, Target
+
+__all__ = [
+    "Collector", "CostModel", "CoverageMap", "ExecResult",
+    "ExplicitCollector", "GlobalCoverage", "HangBudgetExceeded", "MAP_SIZE",
+    "ProtocolServer", "SimulatedClock", "Target", "TracingCollector",
+    "bucket_count",
+]

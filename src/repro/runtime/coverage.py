@@ -1,0 +1,142 @@
+"""AFL-style edge-coverage bitmap (the paper's instrumentation model).
+
+Paper §IV-B inserts, at every branch point::
+
+    cur_location = <COMPILE_TIME_RANDOM>;
+    shared_mem[cur_location ^ prev_location]++;
+    prev_location = cur_location >> 1;
+
+:class:`CoverageMap` is the per-execution ``shared_mem`` array;
+:class:`GlobalCoverage` is the accumulated "virgin map" that decides
+whether a seed reached "a new program execution state that has not
+appeared before" — i.e. whether it is *valuable*.  Hit counts are bucketed
+into power-of-two classes like AFL so loop-count changes register as new
+states without exploding the path count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+MAP_SIZE_POW2 = 16
+MAP_SIZE = 1 << MAP_SIZE_POW2
+_MAP_MASK = MAP_SIZE - 1
+
+def bucket_count(count: int) -> int:
+    """Map a raw edge hit count onto its AFL bucket bit.
+
+    AFL's count_class_lookup: 1→1, 2→2, 3→4, 4-7→8, 8-15→16, 16-31→32,
+    32-127→64, 128+→128.
+    """
+    if count <= 0:
+        return 0
+    if count == 1:
+        return 1
+    if count == 2:
+        return 2
+    if count == 3:
+        return 4
+    if count <= 7:
+        return 8
+    if count <= 15:
+        return 16
+    if count <= 31:
+        return 32
+    if count <= 127:
+        return 64
+    return 128
+
+
+class CoverageMap:
+    """Per-execution edge hit map (``shared_mem`` analog)."""
+
+    __slots__ = ("counts", "_prev")
+
+    def __init__(self):
+        self.counts = bytearray(MAP_SIZE)
+        self._prev = 0
+
+    def reset(self) -> None:
+        """Clear the map for the next execution."""
+        for index in range(MAP_SIZE):
+            self.counts[index] = 0
+        self._prev = 0
+
+    def fast_reset(self) -> None:
+        """Clear by reallocation (faster than zeroing in CPython)."""
+        self.counts = bytearray(MAP_SIZE)
+        self._prev = 0
+
+    def visit(self, cur_location: int) -> None:
+        """Record the transition into basic block *cur_location*.
+
+        Implements the paper's snippet: bump ``shared_mem[cur ^ prev]``
+        then shift ``prev``.
+        """
+        index = (cur_location ^ self._prev) & _MAP_MASK
+        count = self.counts[index]
+        if count < 255:
+            self.counts[index] = count + 1
+        self._prev = (cur_location >> 1) & _MAP_MASK
+
+    def iter_hits(self) -> Iterable[Tuple[int, int]]:
+        """Yield ``(edge_index, raw_count)`` for every touched edge."""
+        counts = self.counts
+        for index in range(MAP_SIZE):
+            if counts[index]:
+                yield index, counts[index]
+
+    def edge_count(self) -> int:
+        """Number of distinct edges touched this execution."""
+        return sum(1 for byte in self.counts if byte)
+
+    def path_hash(self) -> int:
+        """Order-insensitive hash of the bucketed map (path identity)."""
+        acc = 0xCBF29CE484222325
+        counts = self.counts
+        for index in range(MAP_SIZE):
+            count = counts[index]
+            if count:
+                acc ^= (index << 8) | bucket_count(count)
+                acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return acc
+
+
+class GlobalCoverage:
+    """Accumulated bucketed coverage across the whole campaign."""
+
+    __slots__ = ("virgin", "edges_seen")
+
+    def __init__(self):
+        self.virgin = bytearray(MAP_SIZE)
+        self.edges_seen = 0
+
+    def merge(self, execution_map: CoverageMap) -> bool:
+        """Fold *execution_map* in; return True when new state was reached.
+
+        New state = a never-seen edge, or a never-seen hit-count bucket on
+        a known edge — AFL's ``has_new_bits``.
+        """
+        new_bits = False
+        virgin = self.virgin
+        for index, count in execution_map.iter_hits():
+            bit = bucket_count(count)
+            seen = virgin[index]
+            if seen & bit == 0:
+                if seen == 0:
+                    self.edges_seen += 1
+                virgin[index] = seen | bit
+                new_bits = True
+        return new_bits
+
+    def would_be_new(self, execution_map: CoverageMap) -> bool:
+        """Non-mutating variant of :meth:`merge`."""
+        virgin = self.virgin
+        for index, count in execution_map.iter_hits():
+            if virgin[index] & bucket_count(count) == 0:
+                return True
+        return False
+
+    def edge_coverage(self) -> int:
+        """Total distinct edges observed so far."""
+        return self.edges_seen

@@ -1,0 +1,136 @@
+"""Instrumentation collectors: how basic-block ids reach the coverage map.
+
+The paper compiles targets with ``Peach*-clang`` (an LLVM pass inserting
+the edge-count snippet at branch points).  Our targets are Python, so two
+collectors are provided:
+
+* :class:`TracingCollector` — zero-modification instrumentation via
+  ``sys.settrace``: every executed line of the target's modules becomes a
+  basic block whose id is a stable hash of ``(filename, lineno)``.  This
+  matches the LLVM pass's granularity closely (one block per branch arm)
+  and is the default.
+* :class:`ExplicitCollector` — targets call :meth:`ExplicitCollector.hit`
+  with a label at interesting points; useful for speed-critical loops and
+  for unit-testing the coverage plumbing.
+
+Both feed the same :class:`~repro.runtime.coverage.CoverageMap` and also
+count executed blocks so the harness can flag hangs (runaway loops).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterable, Optional
+
+from repro.runtime.coverage import CoverageMap
+from repro.util import fnv1a32
+
+
+class HangBudgetExceeded(Exception):
+    """Raised inside a traced execution that exceeded its block budget."""
+
+
+class Collector:
+    """Common interface: a context manager scoped to one execution."""
+
+    def __init__(self, coverage_map: Optional[CoverageMap] = None,
+                 hang_budget: int = 200_000):
+        self.map = coverage_map if coverage_map is not None else CoverageMap()
+        self.hang_budget = hang_budget
+        self.blocks_executed = 0
+
+    def begin(self) -> None:
+        self.map.fast_reset()
+        self.blocks_executed = 0
+
+    def end(self) -> None:
+        pass
+
+    def __enter__(self):
+        self.begin()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.end()
+        return False
+
+
+class ExplicitCollector(Collector):
+    """Targets call :meth:`hit` with a stable label at each branch point."""
+
+    def __init__(self, coverage_map: Optional[CoverageMap] = None,
+                 hang_budget: int = 200_000):
+        super().__init__(coverage_map, hang_budget)
+        self._label_ids: Dict[str, int] = {}
+
+    def hit(self, label: str) -> None:
+        """Record entry into the basic block named *label*."""
+        block_id = self._label_ids.get(label)
+        if block_id is None:
+            block_id = fnv1a32(label)
+            self._label_ids[label] = block_id
+        self.map.visit(block_id)
+        self.blocks_executed += 1
+        if self.blocks_executed > self.hang_budget:
+            raise HangBudgetExceeded(label)
+
+
+class TracingCollector(Collector):
+    """``sys.settrace``-based line/edge coverage scoped to target modules.
+
+    Parameters
+    ----------
+    module_prefixes:
+        Only code objects whose ``co_filename`` contains one of these
+        substrings are traced; everything else (the fuzzer itself, the
+        stdlib) is skipped at call granularity, keeping overhead low.
+    """
+
+    def __init__(self, module_prefixes: Iterable[str],
+                 coverage_map: Optional[CoverageMap] = None,
+                 hang_budget: int = 200_000):
+        super().__init__(coverage_map, hang_budget)
+        self.module_prefixes = tuple(module_prefixes)
+        self._line_ids: Dict[tuple, int] = {}
+        self._file_match_cache: Dict[str, bool] = {}
+        self._saved_trace = None
+
+    def _file_matches(self, filename: str) -> bool:
+        cached = self._file_match_cache.get(filename)
+        if cached is None:
+            cached = any(prefix in filename
+                         for prefix in self.module_prefixes)
+            self._file_match_cache[filename] = cached
+        return cached
+
+    def begin(self) -> None:
+        super().begin()
+        self._saved_trace = sys.gettrace()
+        sys.settrace(self._global_trace)
+
+    def end(self) -> None:
+        sys.settrace(self._saved_trace)
+        self._saved_trace = None
+
+    # -- trace callbacks -----------------------------------------------------
+
+    def _global_trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        if not self._file_matches(frame.f_code.co_filename):
+            return None
+        return self._local_trace
+
+    def _local_trace(self, frame, event, arg):
+        if event != "line":
+            return self._local_trace
+        key = (frame.f_code.co_filename, frame.f_lineno)
+        block_id = self._line_ids.get(key)
+        if block_id is None:
+            block_id = fnv1a32(f"{key[0]}:{key[1]}")
+            self._line_ids[key] = block_id
+        self.map.visit(block_id)
+        self.blocks_executed += 1
+        if self.blocks_executed > self.hang_budget:
+            raise HangBudgetExceeded(f"{key[0]}:{key[1]}")
+        return self._local_trace

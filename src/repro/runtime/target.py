@@ -1,0 +1,106 @@
+"""Target harness: run one packet against an instrumented protocol server.
+
+``RUNTARGET`` of paper Alg. 1: feed the generated seed to the program
+under test, watch for crashes and hangs, and (for Peach*) collect the
+edge-coverage feedback.  Servers are in-process objects with a
+``handle_packet(heap, data) -> bytes | None`` method; each execution gets
+a fresh :class:`~repro.sanitizer.heap.SimHeap` so crashes are a
+deterministic function of the packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.runtime.coverage import CoverageMap
+from repro.runtime.instrument import Collector, HangBudgetExceeded
+from repro.sanitizer.errors import MemoryFault
+from repro.sanitizer.heap import SimHeap
+from repro.sanitizer.report import CrashReport, report_from_fault
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one target execution."""
+
+    coverage: Optional[CoverageMap]
+    crash: Optional[CrashReport]
+    hang: bool
+    response: Optional[bytes]
+    blocks_executed: int = 0
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash is not None
+
+
+class ProtocolServer:
+    """Interface the six protocol targets implement."""
+
+    #: short name matching the paper's project table (e.g. "libmodbus")
+    name = "server"
+
+    def handle_packet(self, heap: SimHeap, data: bytes) -> Optional[bytes]:
+        """Process one request frame; may raise MemoryFault."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear per-connection state between executions (default: none)."""
+
+
+class Target:
+    """Binds a server factory to an instrumentation collector.
+
+    Parameters
+    ----------
+    server_factory:
+        Zero-argument callable returning a fresh :class:`ProtocolServer`.
+        The server object is reused across executions (its ``reset`` is
+        called); the heap is always fresh.
+    collector:
+        The instrumentation collector, or ``None`` for an uninstrumented
+        baseline run (plain Peach collects no feedback during fuzzing —
+        the paper adds the path-coverage *measurement* framework to both
+        tools, which :class:`repro.core.campaign.Campaign` models
+        separately).
+    """
+
+    def __init__(self, server_factory: Callable[[], ProtocolServer],
+                 collector: Optional[Collector] = None):
+        self.server = server_factory()
+        self.collector = collector
+        self.executions = 0
+
+    def run(self, packet: bytes, model_name: Optional[str] = None) -> ExecResult:
+        """Execute *packet* against the server; never lets faults escape."""
+        self.executions += 1
+        heap = SimHeap()
+        self.server.reset()
+        crash = None
+        hang = False
+        response = None
+        blocks = 0
+        if self.collector is not None:
+            with self.collector:
+                crash, hang, response = self._dispatch(
+                    heap, packet, model_name)
+            blocks = self.collector.blocks_executed
+            coverage = self.collector.map
+        else:
+            crash, hang, response = self._dispatch(heap, packet, model_name)
+            coverage = None
+        return ExecResult(coverage=coverage, crash=crash, hang=hang,
+                          response=response, blocks_executed=blocks)
+
+    def _dispatch(self, heap: SimHeap, packet: bytes,
+                  model_name: Optional[str]):
+        try:
+            response = self.server.handle_packet(heap, packet)
+            return None, False, response
+        except MemoryFault as fault:
+            report = report_from_fault(
+                fault, packet, model_name, self.executions)
+            return report, False, None
+        except HangBudgetExceeded:
+            return None, True, None

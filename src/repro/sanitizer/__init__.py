@@ -1,0 +1,21 @@
+"""Simulated-memory sanitizer: the AddressSanitizer analog of the repro.
+
+Provides the checked heap the protocol targets run against
+(:class:`SimHeap`), the typed fault exceptions matching the paper's
+Table I vulnerability types, and ASan-style crash reporting/dedup.
+"""
+
+from repro.sanitizer.errors import (
+    DoubleFree, HeapBufferOverflow, HeapUseAfterFree, MemoryFault, NullDeref,
+    SimSegv,
+)
+from repro.sanitizer.heap import Pointer, SimHeap
+from repro.sanitizer.report import (
+    CrashDatabase, CrashReport, report_from_fault,
+)
+
+__all__ = [
+    "CrashDatabase", "CrashReport", "DoubleFree", "HeapBufferOverflow",
+    "HeapUseAfterFree", "MemoryFault", "NullDeref", "Pointer", "SimHeap",
+    "SimSegv", "report_from_fault",
+]

@@ -1,0 +1,52 @@
+"""Simulated memory-safety faults (the AddressSanitizer analog).
+
+The paper triages crashes with ASan/gdb; Table I classifies them as SEGV,
+Heap Use after Free and Heap Buffer Overflow.  Our protocol targets run
+against :class:`repro.sanitizer.heap.SimHeap`, whose checked accessors
+raise these typed exceptions at the same logical sites the C bugs lived
+at.  Each exception records the *site* (a ``file:line``-style label) so
+reports dedupe the way ASan stack-top dedup does.
+"""
+
+from __future__ import annotations
+
+
+class MemoryFault(Exception):
+    """Base class of all simulated memory-safety violations."""
+
+    kind = "MEMORY-FAULT"
+
+    def __init__(self, site: str, detail: str = ""):
+        self.site = site
+        self.detail = detail
+        super().__init__(f"{self.kind} at {site}" + (f": {detail}" if detail else ""))
+
+
+class SimSegv(MemoryFault):
+    """Access to an unmapped / wild address (ASan "SEGV on unknown address")."""
+
+    kind = "SEGV"
+
+
+class HeapBufferOverflow(MemoryFault):
+    """Read/write past the bounds of a live heap allocation."""
+
+    kind = "heap-buffer-overflow"
+
+
+class HeapUseAfterFree(MemoryFault):
+    """Access to a freed heap allocation."""
+
+    kind = "heap-use-after-free"
+
+
+class DoubleFree(MemoryFault):
+    """``free`` called twice on the same allocation."""
+
+    kind = "double-free"
+
+
+class NullDeref(SimSegv):
+    """Dereference of a NULL pointer (reported by ASan as SEGV)."""
+
+    kind = "SEGV"

@@ -1,0 +1,187 @@
+"""SimHeap: a bounds- and lifetime-checked simulated C heap.
+
+The six protocol targets are written "C style": they ``malloc`` buffers
+for incoming frames and decoded structures and access them through the
+checked accessors here.  Malformed packets that would corrupt memory in
+the original C implementations therefore surface as typed
+:class:`~repro.sanitizer.errors.MemoryFault` exceptions, which the target
+harness converts into ASan-style crash reports.
+
+Address layout: each allocation receives a virtual base address inside a
+sparse 32-bit space with guard gaps between allocations.  Reads slightly
+past an allocation hit the redzone (heap-buffer-overflow), while computed
+wild addresses (e.g. a table index taken from an unchecked packet field)
+fall outside every mapping and raise SEGV — matching how ASan actually
+classifies the two failure shapes the paper's Table I reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sanitizer.errors import (
+    DoubleFree, HeapBufferOverflow, HeapUseAfterFree, NullDeref, SimSegv,
+)
+
+_BASE_ADDRESS = 0x1000_0000
+_GUARD = 0x100  # redzone gap between allocations
+
+
+@dataclass
+class Pointer:
+    """A typed pointer into the simulated heap.
+
+    Supports C-style pointer arithmetic via :meth:`offset`; the result
+    stays tied to the same allocation, so out-of-bounds accesses are
+    caught relative to the original object, like ASan's shadow memory.
+    """
+
+    address: int
+    alloc_id: int
+    base_offset: int = 0
+
+    def offset(self, delta: int) -> "Pointer":
+        return Pointer(self.address + delta, self.alloc_id,
+                       self.base_offset + delta)
+
+
+class _Allocation:
+    __slots__ = ("alloc_id", "base", "size", "data", "freed", "tag")
+
+    def __init__(self, alloc_id: int, base: int, size: int, tag: str):
+        self.alloc_id = alloc_id
+        self.base = base
+        self.size = size
+        self.data = bytearray(size)
+        self.freed = False
+        self.tag = tag
+
+
+class SimHeap:
+    """The simulated heap; one per target execution."""
+
+    def __init__(self):
+        self._allocations: Dict[int, _Allocation] = {}
+        self._next_id = 1
+        self._next_base = _BASE_ADDRESS
+        self.bytes_allocated = 0
+
+    # -- allocation ----------------------------------------------------------
+
+    def malloc(self, size: int, tag: str = "anon") -> Pointer:
+        """Allocate *size* bytes; returns a :class:`Pointer` to offset 0."""
+        if size < 0:
+            raise SimSegv(tag, f"malloc with negative size {size}")
+        alloc = _Allocation(self._next_id, self._next_base, size, tag)
+        self._allocations[alloc.alloc_id] = alloc
+        self._next_id += 1
+        self._next_base += size + _GUARD
+        self.bytes_allocated += size
+        return Pointer(alloc.base, alloc.alloc_id)
+
+    def malloc_from(self, data: bytes, tag: str = "anon") -> Pointer:
+        """Allocate and initialise from *data* (the C idiom of copying a
+        received frame into a fresh buffer)."""
+        ptr = self.malloc(len(data), tag)
+        alloc = self._allocations[ptr.alloc_id]
+        alloc.data[:] = data
+        return ptr
+
+    def free(self, ptr: Pointer, site: str = "free") -> None:
+        alloc = self._allocations.get(ptr.alloc_id)
+        if alloc is None:
+            raise SimSegv(site, "free of unknown pointer")
+        if alloc.freed:
+            raise DoubleFree(site, f"double free of {alloc.tag}")
+        alloc.freed = True
+
+    def size_of(self, ptr: Pointer) -> int:
+        alloc = self._allocations.get(ptr.alloc_id)
+        return alloc.size if alloc is not None else 0
+
+    # -- checked access ------------------------------------------------------
+
+    def _resolve(self, ptr: Optional[Pointer], offset: int, length: int,
+                 site: str, write: bool) -> _Allocation:
+        if ptr is None:
+            raise NullDeref(site, "NULL pointer dereference")
+        alloc = self._allocations.get(ptr.alloc_id)
+        if alloc is None:
+            raise SimSegv(site, f"wild pointer {ptr.address:#x}")
+        if alloc.freed:
+            raise HeapUseAfterFree(
+                site, f"{'write' if write else 'read'} of freed "
+                      f"{alloc.tag} ({alloc.size} bytes)")
+        start = ptr.base_offset + offset
+        end = start + length
+        if start < 0 or end > alloc.size:
+            # Small overshoot lands in the redzone; large overshoot flies
+            # past every mapping — the SEGV shape of Table I.
+            if start >= alloc.size + _GUARD or start < -_GUARD:
+                raise SimSegv(
+                    site, f"access at {alloc.base + start:#x}, "
+                          f"{start - alloc.size} bytes past {alloc.tag}")
+            raise HeapBufferOverflow(
+                site, f"{'write' if write else 'read'} of {length} bytes at "
+                      f"offset {start} of {alloc.size}-byte {alloc.tag}")
+        return alloc
+
+    def read(self, ptr: Pointer, offset: int, length: int,
+             site: str = "read") -> bytes:
+        """Bounds/lifetime-checked read of *length* bytes."""
+        alloc = self._resolve(ptr, offset, length, site, write=False)
+        start = ptr.base_offset + offset
+        return bytes(alloc.data[start:start + length])
+
+    def read_u8(self, ptr: Pointer, offset: int, site: str = "read") -> int:
+        return self.read(ptr, offset, 1, site)[0]
+
+    def read_u16(self, ptr: Pointer, offset: int, site: str = "read",
+                 endian: str = "big") -> int:
+        return int.from_bytes(self.read(ptr, offset, 2, site), endian)
+
+    def read_u32(self, ptr: Pointer, offset: int, site: str = "read",
+                 endian: str = "big") -> int:
+        return int.from_bytes(self.read(ptr, offset, 4, site), endian)
+
+    def write(self, ptr: Pointer, offset: int, data: bytes,
+              site: str = "write") -> None:
+        """Bounds/lifetime-checked write."""
+        alloc = self._resolve(ptr, offset, len(data), site, write=True)
+        start = ptr.base_offset + offset
+        alloc.data[start:start + len(data)] = data
+
+    def write_u8(self, ptr: Pointer, offset: int, value: int,
+                 site: str = "write") -> None:
+        self.write(ptr, offset, bytes((value & 0xFF,)), site)
+
+    def write_u16(self, ptr: Pointer, offset: int, value: int,
+                  site: str = "write", endian: str = "big") -> None:
+        self.write(ptr, offset, (value & 0xFFFF).to_bytes(2, endian), site)
+
+    # -- raw address access (for computed/wild pointers) -----------------------
+
+    def deref_read(self, address: int, length: int, site: str) -> bytes:
+        """Read through a *computed* address, e.g. ``base + index * size``
+        where ``index`` came straight from a packet field.
+
+        Addresses inside a live allocation succeed; anything else is the
+        "bad address operation" of the paper's Listing 2 — SEGV.
+        """
+        if address == 0:
+            raise NullDeref(site, "NULL pointer dereference")
+        for alloc in self._allocations.values():
+            if alloc.base <= address < alloc.base + alloc.size:
+                if alloc.freed:
+                    raise HeapUseAfterFree(site, f"read of freed {alloc.tag}")
+                start = address - alloc.base
+                if start + length > alloc.size:
+                    raise HeapBufferOverflow(
+                        site, f"read of {length} bytes at end of {alloc.tag}")
+                return bytes(alloc.data[start:start + length])
+        raise SimSegv(site, f"SEGV on unknown address {address:#x}")
+
+    def live_allocations(self) -> int:
+        """Count of not-yet-freed allocations (leak checking in tests)."""
+        return sum(1 for alloc in self._allocations.values() if not alloc.freed)

@@ -1,0 +1,99 @@
+"""ASan/gdb-style crash reports and campaign-level deduplication.
+
+The paper's Listing 2 shows the AddressSanitizer SUMMARY line used to
+triage the lib60870 SEGV; :func:`format_report` renders our simulated
+faults in the same shape, and :class:`CrashDatabase` deduplicates by
+``(kind, site)`` the way the paper counts "unique bugs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sanitizer.errors import MemoryFault
+from repro.util import hexdump
+
+
+@dataclass
+class CrashReport:
+    """One observed crash: what happened, where, and the packet that did it."""
+
+    kind: str
+    site: str
+    detail: str
+    packet: bytes
+    model_name: Optional[str] = None
+    execution_index: int = 0
+
+    @property
+    def dedup_key(self) -> tuple:
+        return (self.kind, self.site)
+
+    def summary_line(self) -> str:
+        """The ASan SUMMARY-style one-liner."""
+        return f"SUMMARY: AddressSanitizer: {self.kind} {self.site}"
+
+    def render(self) -> str:
+        """Full report: fault, site, provoking packet hexdump."""
+        lines = [
+            "==ERROR: AddressSanitizer: "
+            f"{self.kind} at site {self.site}",
+            f"    {self.detail}" if self.detail else "",
+            self.summary_line(),
+            "",
+            f"provoking packet ({len(self.packet)} bytes, "
+            f"model={self.model_name or 'unknown'}):",
+            hexdump(self.packet),
+        ]
+        return "\n".join(line for line in lines if line != "")
+
+
+def report_from_fault(fault: MemoryFault, packet: bytes,
+                      model_name: Optional[str] = None,
+                      execution_index: int = 0) -> CrashReport:
+    """Build a :class:`CrashReport` from a raised memory fault."""
+    return CrashReport(
+        kind=fault.kind,
+        site=fault.site,
+        detail=fault.detail,
+        packet=packet,
+        model_name=model_name,
+        execution_index=execution_index,
+    )
+
+
+class CrashDatabase:
+    """Deduplicated store of crashes found during a campaign (the C7 set)."""
+
+    def __init__(self):
+        self._unique: Dict[tuple, CrashReport] = {}
+        self.total_crashes = 0
+
+    def add(self, report: CrashReport) -> bool:
+        """Record a crash; return True when it is a *new* unique bug."""
+        self.total_crashes += 1
+        key = report.dedup_key
+        if key in self._unique:
+            return False
+        self._unique[key] = report
+        return True
+
+    def unique_reports(self) -> List[CrashReport]:
+        return list(self._unique.values())
+
+    def unique_count(self) -> int:
+        return len(self._unique)
+
+    def count_by_kind(self) -> Dict[str, int]:
+        """Vulnerability-type histogram (the shape of the paper's Table I)."""
+        histogram: Dict[str, int] = {}
+        for report in self._unique.values():
+            histogram[report.kind] = histogram.get(report.kind, 0) + 1
+        return histogram
+
+    def __len__(self) -> int:
+        return len(self._unique)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._unique

@@ -1,0 +1,46 @@
+"""Small shared utilities: stable hashing and byte helpers.
+
+The fuzzer needs *stable* identifiers (basic-block ids, rule signatures)
+that do not change between processes, so everything here avoids Python's
+randomized ``hash()``.
+"""
+
+from __future__ import annotations
+
+_FNV32_OFFSET = 0x811C9DC5
+_FNV32_PRIME = 0x01000193
+
+
+def fnv1a32(data: bytes | str) -> int:
+    """Return the 32-bit FNV-1a hash of *data*.
+
+    Used as the "compile-time random" basic-block identifier of the paper's
+    instrumentation snippet and for construction-rule signatures.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    acc = _FNV32_OFFSET
+    for byte in data:
+        acc ^= byte
+        acc = (acc * _FNV32_PRIME) & 0xFFFFFFFF
+    return acc
+
+
+def hexdump(data: bytes, width: int = 16) -> str:
+    """Render *data* as a classic offset/hex/ascii dump (for crash reports)."""
+    lines = []
+    for start in range(0, len(data), width):
+        chunk = data[start:start + width]
+        hexpart = " ".join(f"{b:02x}" for b in chunk)
+        asciipart = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+        lines.append(f"{start:08x}  {hexpart:<{width * 3}} |{asciipart}|")
+    return "\n".join(lines)
+
+
+def clamp(value: int, lo: int, hi: int) -> int:
+    """Clamp *value* into the inclusive range [*lo*, *hi*]."""
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value

@@ -1,0 +1,140 @@
+"""Tests for the analysis harness (figures, tables, speedup, CLI)."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1, ascii_chart, expected_counts, getcot_report,
+    render_panel_report, render_table1, run_fig4_panel, run_table1_row,
+)
+from repro.analysis.figures import Fig4Panel
+from repro.analysis.speedup import HeadlineReport, run_headline
+from repro.core import CampaignConfig
+from repro.core.stats import ComparisonSummary
+from repro.protocols import get_target
+
+
+def _quick_config():
+    return CampaignConfig(budget_hours=24.0, max_executions=150,
+                          record_every=10)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        return run_fig4_panel(get_target("iec104"), repetitions=2,
+                              budget_hours=24.0, config=_quick_config())
+
+    def test_panel_has_both_curves(self, panel):
+        assert len(panel.peach_curve) == len(panel.star_curve)
+        assert panel.peach_curve[-1][1] >= 0
+
+    def test_curves_monotone(self, panel):
+        for curve in (panel.peach_curve, panel.star_curve):
+            values = [v for _h, v in curve]
+            assert values == sorted(values)
+
+    def test_ascii_chart_renders(self, panel):
+        chart = ascii_chart(panel)
+        assert "iec104" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_report_includes_series_table(self, panel):
+        report = render_panel_report(panel)
+        assert "hour" in report
+        assert "final paths" in report
+
+    def test_final_increase_pct_computed(self, panel):
+        assert isinstance(panel.final_increase_pct, float)
+
+
+class TestTable1:
+    def test_paper_table_shape(self):
+        assert [name for name, _c in PAPER_TABLE1] == \
+            ["lib60870", "libmodbus", "libiccp"]
+        total = sum(sum(counts.values()) for _n, counts in PAPER_TABLE1)
+        assert total == 9
+
+    def test_expected_counts_from_registry(self):
+        assert expected_counts(get_target("lib60870")) == {"SEGV": 3}
+        assert expected_counts(get_target("libmodbus")) == {
+            "SEGV": 1, "heap-use-after-free": 1}
+        assert expected_counts(get_target("libiccp")) == {
+            "SEGV": 3, "heap-buffer-overflow": 1}
+
+    def test_row_runs_and_renders(self):
+        row = run_table1_row("libiccp", repetitions=1, budget_hours=24.0,
+                             config=CampaignConfig(budget_hours=24.0,
+                                                   max_executions=800,
+                                                   record_every=50))
+        assert row.found_by_type  # at least one bug found quickly
+        lines = row.render()
+        assert any("libiccp" in line for line in lines)
+
+    def test_render_table1_mentions_paper_total(self):
+        from repro.analysis.tables import Table1Row
+        rows = [Table1Row("lib60870", {"SEGV": 3}, {"SEGV": 3}, {}, [])]
+        text = render_table1(rows)
+        assert "TABLE I" in text
+        assert "(paper: 9)" in text
+        assert "Confirmed" in text
+
+    def test_getcot_report_extraction(self):
+        from repro.analysis.tables import Table1Row
+        from repro.sanitizer import CrashReport
+        report = CrashReport("SEGV", "cs101_asdu.c:CS101_ASDU_getCOT",
+                             "bad address", b"\x68\x03\x00\x00\x00\x67")
+        rows = [Table1Row("lib60870", {"SEGV": 1}, {"SEGV": 3}, {},
+                          [report])]
+        text = getcot_report(rows)
+        assert "CS101_ASDU_getCOT" in text
+        assert "SUMMARY: AddressSanitizer: SEGV" in text
+
+
+class TestHeadline:
+    def test_headline_report_aggregates(self):
+        report = HeadlineReport(summaries=[
+            ComparisonSummary("a", 24.0, 100, 120, 20.0, 2.0),
+            ComparisonSummary("b", 24.0, 50, 65, 30.0, 8.0),
+        ])
+        assert report.average_increase_pct == pytest.approx(25.0)
+        assert report.speedup_range == (2.0, 8.0)
+        text = report.render()
+        assert "paper: 1.2X-25X" in text
+        assert "27.35%" in text
+
+    def test_run_headline_on_one_target(self):
+        report = run_headline([get_target("iec104")], repetitions=1,
+                              budget_hours=24.0, config=_quick_config())
+        assert len(report.summaries) == 1
+        assert report.summaries[0].target_name == "iec104"
+
+
+class TestCli:
+    def test_targets_command(self, capsys):
+        from repro.cli import main
+        assert main(["targets"]) == 0
+        out = capsys.readouterr().out
+        assert "libmodbus" in out and "opendnp3" in out
+
+    def test_fuzz_command(self, capsys):
+        from repro.cli import main
+        assert main(["fuzz", "iec104", "--engine", "peach",
+                     "--max-execs", "60", "--hours", "24"]) == 0
+        assert "paths=" in capsys.readouterr().out
+
+    def test_crack_command_valid_packet(self, capsys):
+        from repro.cli import main
+        from repro.protocols.modbus import build_read_request
+        packet = build_read_request(3, 0, 2).hex()
+        assert main(["crack", "libmodbus", packet]) == 0
+        out = capsys.readouterr().out
+        assert "InsTree" in out
+        assert "cracked into" in out
+
+    def test_crack_command_illegal_packet(self, capsys):
+        from repro.cli import main
+        assert main(["crack", "libmodbus", "ff"]) == 1
+
+    def test_crack_command_bad_hex(self, capsys):
+        from repro.cli import main
+        assert main(["crack", "libmodbus", "zz"]) == 2

@@ -1,0 +1,96 @@
+"""Tests for the campaign result export helpers."""
+
+import csv
+import io
+import json
+
+from repro.analysis.export import (
+    campaign_to_dict, campaign_to_json, campaigns_to_csv,
+    panel_to_markdown, panels_to_markdown, write_campaign_json,
+    write_series_csv,
+)
+from repro.analysis.figures import Fig4Panel
+from repro.core.campaign import CampaignResult
+from repro.sanitizer import CrashReport
+
+
+def _result(engine="peach-star", target="libmodbus", seed=1):
+    report = CrashReport("SEGV", "modbus.c:fc23_read_registers",
+                         "wild read", b"\x00\x01", "modbus.rw")
+    return CampaignResult(
+        engine_name=engine, target_name=target, seed=seed,
+        series=[(0.0, 0), (1.0, 10), (2.0, 15)],
+        final_paths=15, final_edges=120, executions=200,
+        unique_crashes=[report],
+        crash_times={report.dedup_key: 1.5},
+        stats={"executions": 200, "puzzles": 42},
+    )
+
+
+def _panel():
+    return Fig4Panel(
+        target_name="iec104", checkpoints=(1.0, 2.0),
+        peach_curve=[(1.0, 10.0), (2.0, 12.0)],
+        star_curve=[(1.0, 11.0), (2.0, 15.0)],
+        peach_results=[], star_results=[],
+    )
+
+
+class TestJson:
+    def test_dict_fields_present(self):
+        data = campaign_to_dict(_result())
+        assert data["engine"] == "peach-star"
+        assert data["final_paths"] == 15
+        assert data["series"] == [[0.0, 0], [1.0, 10], [2.0, 15]]
+        assert data["stats"]["puzzles"] == 42
+
+    def test_crashes_serialized_with_first_seen(self):
+        data = campaign_to_dict(_result())
+        crash = data["unique_crashes"][0]
+        assert crash["kind"] == "SEGV"
+        assert crash["packet_hex"] == "0001"
+        assert crash["first_seen_hours"] == 1.5
+
+    def test_json_parses_back(self):
+        parsed = json.loads(campaign_to_json(_result()))
+        assert parsed["target"] == "libmodbus"
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "run.json"
+        write_campaign_json(_result(), str(path))
+        assert json.loads(path.read_text())["executions"] == 200
+
+
+class TestCsv:
+    def test_csv_one_row_per_sample(self):
+        text = campaigns_to_csv([_result(), _result(engine="peach")])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["engine", "target", "seed", "sim_hours",
+                           "paths_covered"]
+        assert len(rows) == 1 + 3 + 3
+
+    def test_csv_values(self):
+        rows = list(csv.reader(io.StringIO(campaigns_to_csv([_result()]))))
+        assert rows[2] == ["peach-star", "libmodbus", "1", "1.0000", "10"]
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "series.csv"
+        write_series_csv([_result()], str(path))
+        assert "paths_covered" in path.read_text()
+
+
+class TestMarkdown:
+    def test_panel_table(self):
+        text = panel_to_markdown(_panel())
+        assert "### iec104" in text
+        assert "| 2.0 | 12.0 | 15.0 |" in text
+        assert "+25.00%" in text
+
+    def test_panels_summary_with_mean(self):
+        text = panels_to_markdown([_panel()])
+        assert "| iec104 | 12.0 | 15.0 | +25.00% |" in text
+        assert "**+25.00%**" in text
+
+    def test_empty_panel_list(self):
+        text = panels_to_markdown([])
+        assert "project" in text

@@ -1,0 +1,119 @@
+"""Unit tests for the puzzle corpus (GETDONOR semantics)."""
+
+import random
+
+from repro.core import PuzzleCorpus
+from repro.model import Number, Str
+
+
+def _rule(semantic="address", width=2):
+    return Number("f", width, semantic=semantic)
+
+
+class TestDeposit:
+    def test_add_new_puzzle(self):
+        corpus = PuzzleCorpus()
+        assert corpus.add(_rule().signature(), b"\x00\x05")
+        assert corpus.puzzle_count() == 1
+
+    def test_duplicate_reinforces_instead_of_adding(self):
+        corpus = PuzzleCorpus()
+        sig = _rule().signature()
+        assert corpus.add(sig, b"\x00\x05")
+        assert not corpus.add(sig, b"\x00\x05")
+        assert corpus.puzzle_count() == 1
+        assert corpus.deposit_count(_rule(), b"\x00\x05") == 2
+
+    def test_rules_keyed_by_signature_not_name(self):
+        corpus = PuzzleCorpus()
+        a = Number("address", 2, semantic="address")
+        b = Number("read_address", 2, semantic="address")
+        corpus.add(a.signature(), b"\x00\x09")
+        assert corpus.donors(b) == (b"\x00\x09",)
+
+    def test_different_widths_do_not_cross(self):
+        corpus = PuzzleCorpus()
+        corpus.add(_rule(width=2).signature(), b"\x00\x09")
+        assert corpus.donors(_rule(width=4)) == ()
+
+    def test_bounded_with_least_deposited_eviction(self):
+        corpus = PuzzleCorpus(max_per_rule=4)
+        sig = _rule().signature()
+        keeper = b"\x00\x01"
+        corpus.add(sig, keeper)
+        for _ in range(10):
+            corpus.add(sig, keeper)  # heavily reinforced
+        for i in range(2, 50):
+            corpus.add(sig, i.to_bytes(2, "big"))
+        donors = corpus.donors(_rule())
+        assert len(donors) == 4
+        assert keeper in donors  # the reinforced entry survived
+
+    def test_add_all(self):
+        corpus = PuzzleCorpus()
+        added = corpus.add_all([(_rule().signature(), b"\x00\x01"),
+                                (_rule().signature(), b"\x00\x02"),
+                                (_rule().signature(), b"\x00\x01")])
+        assert added == 2
+
+
+class TestSampling:
+    def test_sample_returns_distinct_donors(self):
+        corpus = PuzzleCorpus(rng=random.Random(1))
+        sig = _rule().signature()
+        for i in range(20):
+            corpus.add(sig, i.to_bytes(2, "big"))
+        sample = corpus.sample_donors(_rule(), 5)
+        assert len(sample) == 5
+        assert len(set(sample)) == 5
+
+    def test_sample_weighted_toward_frequent(self):
+        corpus = PuzzleCorpus(rng=random.Random(2))
+        sig = _rule().signature()
+        hot = b"\x00\xAA"
+        for _ in range(200):
+            corpus.add(sig, hot)
+        for i in range(30):
+            corpus.add(sig, i.to_bytes(2, "big"))
+        hits = sum(1 for _ in range(100)
+                   if hot in corpus.sample_donors(_rule(), 3))
+        assert hits > 80  # overwhelmingly sampled
+
+    def test_sample_small_bucket_returns_all(self):
+        corpus = PuzzleCorpus()
+        sig = _rule().signature()
+        corpus.add(sig, b"\x00\x01")
+        corpus.add(sig, b"\x00\x02")
+        assert sorted(corpus.sample_donors(_rule(), 10)) == \
+            [b"\x00\x01", b"\x00\x02"]
+
+    def test_pick_donor_none_when_empty(self):
+        corpus = PuzzleCorpus()
+        assert corpus.pick_donor(_rule()) is None
+
+    def test_pick_donor_returns_member(self):
+        corpus = PuzzleCorpus(rng=random.Random(3))
+        corpus.add(_rule().signature(), b"\x00\x07")
+        assert corpus.pick_donor(_rule()) == b"\x00\x07"
+
+
+class TestIntrospection:
+    def test_empty_flags(self):
+        corpus = PuzzleCorpus()
+        assert corpus.is_empty
+        assert len(corpus) == 0
+        corpus.add(_rule().signature(), b"\x00\x01")
+        assert not corpus.is_empty
+
+    def test_rule_count_counts_signatures(self):
+        corpus = PuzzleCorpus()
+        corpus.add(_rule("address").signature(), b"\x00\x01")
+        corpus.add(_rule("quantity").signature(), b"\x00\x01")
+        corpus.add(Str("name", semantic="name").signature(), b"abc")
+        assert corpus.rule_count() == 3
+
+    def test_has_donors(self):
+        corpus = PuzzleCorpus()
+        assert not corpus.has_donors(_rule())
+        corpus.add(_rule().signature(), b"\x00\x01")
+        assert corpus.has_donors(_rule())

@@ -1,0 +1,109 @@
+"""Unit tests for the File Cracker (paper Alg. 2)."""
+
+from repro.core import FileCracker, PuzzleCorpus
+from repro.model import Blob, Block, DataModel, Number, Pit, size_of
+
+
+def _two_model_pit():
+    """Two packet types sharing the 'address' construction rule."""
+    def _model(name, opcode):
+        return DataModel(name, Block(f"{name}.root", [
+            Number("opcode", 1, default=opcode, token=True,
+                   semantic="opcode"),
+            Number("address", 2, default=0, semantic="address"),
+            size_of(Number("size", 1), "payload"),
+            Blob("payload", default=b"\x2a", semantic=f"{name}_payload"),
+        ]))
+    return Pit("p", [_model("alpha", 1), _model("beta", 2)])
+
+
+class TestCrack:
+    def test_crack_deposits_own_tree_puzzles(self):
+        pit = _two_model_pit()
+        corpus = PuzzleCorpus()
+        cracker = FileCracker(pit, corpus)
+        model = pit.model("alpha")
+        tree = model.build_default()
+        added = cracker.crack(tree.raw, tree)
+        assert added > 0
+        address_rule = Number("x", 2, semantic="address")
+        assert corpus.donors(address_rule)
+
+    def test_crack_without_tree_parses_all_models(self):
+        pit = _two_model_pit()
+        corpus = PuzzleCorpus()
+        cracker = FileCracker(pit, corpus)
+        raw = pit.model("alpha").build_default().raw
+        cracker.crack(raw)
+        assert cracker.models_matched == 1  # beta's opcode token rejects it
+
+    def test_cross_model_donation_via_shared_semantics(self):
+        """An 'alpha' seed's address chunk is available when generating
+        'beta' packets — the paper's cross-opcode donation."""
+        pit = _two_model_pit()
+        corpus = PuzzleCorpus()
+        cracker = FileCracker(pit, corpus)
+        alpha = pit.model("alpha")
+
+        class Pin:
+            def leaf_value(self, field, path):
+                return 0x0BAD if field.name == "address" else None
+
+            def choose_option(self, choice, path):
+                return 0
+
+            def repeat_count(self, repeat, path):
+                return 1
+
+        tree = alpha.build(Pin())
+        cracker.crack(tree.raw, tree)
+        beta_address = pit.model("beta").root.child("address")
+        assert b"\x0b\xad" in corpus.donors(beta_address)
+
+    def test_relation_and_fixup_chunks_skipped(self):
+        pit = _two_model_pit()
+        corpus = PuzzleCorpus()
+        cracker = FileCracker(pit, corpus)
+        model = pit.model("alpha")
+        tree = model.build_default()
+        cracker.crack(tree.raw, tree)
+        size_rule = model.root.child("size")
+        assert corpus.donors(size_rule) == ()
+
+    def test_token_chunks_skipped(self):
+        pit = _two_model_pit()
+        corpus = PuzzleCorpus()
+        cracker = FileCracker(pit, corpus)
+        model = pit.model("alpha")
+        tree = model.build_default()
+        cracker.crack(tree.raw, tree)
+        opcode_rule = model.root.child("opcode")
+        assert corpus.donors(opcode_rule) == ()
+
+    def test_illegal_seed_deposits_nothing(self):
+        pit = _two_model_pit()
+        corpus = PuzzleCorpus()
+        cracker = FileCracker(pit, corpus)
+        added = cracker.crack(b"\xff\xff\xff")
+        assert added == 0
+        assert corpus.is_empty
+
+    def test_internal_node_puzzles_deposited(self):
+        """Alg. 2 collects sub-tree joints, not only leaves."""
+        pit = _two_model_pit()
+        corpus = PuzzleCorpus()
+        cracker = FileCracker(pit, corpus)
+        model = pit.model("alpha")
+        tree = model.build_default()
+        cracker.crack(tree.raw, tree)
+        root_rule = model.root  # block signature
+        assert corpus.donors(root_rule) == (tree.raw,)
+
+    def test_statistics_tracked(self):
+        pit = _two_model_pit()
+        cracker = FileCracker(pit, PuzzleCorpus())
+        tree = pit.model("alpha").build_default()
+        cracker.crack(tree.raw, tree)
+        cracker.crack(tree.raw, tree)  # duplicates rejected second time
+        assert cracker.seeds_cracked == 2
+        assert cracker.puzzles_deposited >= 1

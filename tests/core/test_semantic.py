@@ -1,0 +1,121 @@
+"""Unit tests for semantic-aware generation (paper Alg. 3)."""
+
+import random
+
+from repro.core import PuzzleCorpus, SemanticGenerator
+from repro.model import Blob, Block, DataModel, Number, size_of
+
+
+def _model():
+    return DataModel("m", Block("m.root", [
+        Number("opcode", 1, default=7, token=True, semantic="opcode"),
+        Number("address", 2, default=0, semantic="address"),
+        Number("quantity", 2, default=1, semantic="quantity"),
+        size_of(Number("size", 1), "payload"),
+        Blob("payload", default=b"\x00", semantic="payload"),
+    ]))
+
+
+def _corpus_with(rng=None, **donors):
+    corpus = PuzzleCorpus(rng=rng or random.Random(0))
+    model = _model()
+    for name, values in donors.items():
+        field = model.root.child(name)
+        for value in values:
+            corpus.add(field.signature(), value)
+    return corpus
+
+
+class TestConstruct:
+    def test_empty_corpus_returns_empty_batch(self):
+        generator = SemanticGenerator(PuzzleCorpus(), random.Random(1))
+        assert generator.construct(_model()) == []
+
+    def test_donor_values_spliced_into_packets(self):
+        corpus = _corpus_with(address=[b"\x01\x10"])
+        generator = SemanticGenerator(corpus, random.Random(1),
+                                      pin_prob=1.0)
+        batch = generator.construct(_model())
+        assert batch
+        for tree, _wire in batch:
+            assert tree.find("address").value == 0x0110
+
+    def test_cartesian_product_of_donors(self):
+        """Paper Alg. 3: p donors for a and q for b yield p*q seeds."""
+        corpus = _corpus_with(address=[b"\x00\x01", b"\x00\x02"],
+                              quantity=[b"\x00\x03", b"\x00\x04",
+                                        b"\x00\x05"])
+        generator = SemanticGenerator(corpus, random.Random(1),
+                                      pin_prob=1.0, batch_limit=100)
+        batch = generator.construct(_model())
+        combos = {(t.find("address").value, t.find("quantity").value)
+                  for t, _w in batch}
+        assert len(batch) == 6
+        assert len(combos) == 6
+
+    def test_batch_limit_caps_product(self):
+        corpus = _corpus_with(
+            address=[i.to_bytes(2, "big") for i in range(6)],
+            quantity=[i.to_bytes(2, "big") for i in range(6)])
+        generator = SemanticGenerator(corpus, random.Random(1),
+                                      pin_prob=1.0, batch_limit=10,
+                                      max_donors_per_position=6)
+        batch = generator.construct(_model())
+        assert len(batch) == 10
+
+    def test_relations_repaired_after_splice(self):
+        """File Fixup: the size field is recomputed, never donor-filled."""
+        corpus = _corpus_with(payload=[b"donor-payload!"])
+        generator = SemanticGenerator(corpus, random.Random(1),
+                                      pin_prob=1.0)
+        model = _model()
+        for tree, wire in generator.construct(model):
+            parsed = model.parse(wire)
+            assert parsed.find("size").value == \
+                len(parsed.find("payload").raw)
+
+    def test_tokens_never_pinned(self):
+        corpus = _corpus_with(address=[b"\x00\x01"])
+        # poison the corpus with an opcode donor; it must be ignored
+        model = _model()
+        opcode = model.root.child("opcode")
+        corpus.add(opcode.signature(), b"\x63")
+        generator = SemanticGenerator(corpus, random.Random(1),
+                                      pin_prob=1.0)
+        for tree, _wire in generator.construct(model):
+            assert tree.find("opcode").value == 7
+
+    def test_generated_packets_parse_under_model(self):
+        corpus = _corpus_with(address=[b"\x12\x34"],
+                              quantity=[b"\x00\x09"],
+                              payload=[b"\x01\x02\x03"])
+        generator = SemanticGenerator(corpus, random.Random(1),
+                                      pin_prob=1.0, batch_limit=32)
+        model = _model()
+        batch = generator.construct(model)
+        assert batch
+        for _tree, wire in batch:
+            assert model.matches(wire)
+
+    def test_pin_prob_zero_disables_splicing(self):
+        corpus = _corpus_with(address=[b"\x00\x01"])
+        generator = SemanticGenerator(corpus, random.Random(1),
+                                      pin_prob=0.0)
+        assert generator.construct(_model()) == []
+
+    def test_seeds_generated_counter(self):
+        corpus = _corpus_with(address=[b"\x00\x01"])
+        generator = SemanticGenerator(corpus, random.Random(1),
+                                      pin_prob=1.0)
+        batch = generator.construct(_model())
+        assert generator.seeds_generated == len(batch)
+
+    def test_deterministic_under_seed(self):
+        def run():
+            corpus = _corpus_with(rng=random.Random(9),
+                                  address=[b"\x00\x01", b"\x00\x02"])
+            generator = SemanticGenerator(corpus, random.Random(4),
+                                          pin_prob=1.0)
+            return [wire for _t, wire in generator.construct(_model())]
+
+        assert run() == run()

@@ -1,0 +1,208 @@
+"""Unit tests for DataModel build/parse, Pit, and the Fig. 1 example."""
+
+import pytest
+
+from repro.model import (
+    Blob, Block, Choice, DataModel, ModelError, Number, ParseError, Pit,
+    Repeat, Str, Transformer, ValueProvider, size_of,
+)
+
+
+class TestPaperFigure1:
+    def test_paper_figure1_model(self, fig1_model):
+        """The README/DESIGN Fig. 1 model builds a valid packet."""
+        tree = fig1_model.build_default()
+        raw = tree.raw
+        # ID(1) + Size(2) + Data(2+4+3) + CRC(4)
+        assert len(raw) == 16
+        assert raw[0] == 0x7F
+        assert tree.find("Size").value == 9
+
+    def test_fig1_roundtrip_with_fixup_verification(self, fig1_model):
+        raw = fig1_model.build_default().raw
+        parsed = fig1_model.parse(raw, verify_fixups=True)
+        assert parsed.find("SampleRate").value == 44_100
+
+    def test_fig1_token_mismatch_rejected(self, fig1_model):
+        raw = bytearray(fig1_model.build_default().raw)
+        raw[0] = 0x00  # break the ID token
+        with pytest.raises(ParseError):
+            fig1_model.parse(bytes(raw))
+
+
+class TestBuild:
+    def test_build_default_uses_field_defaults(self):
+        model = DataModel("m", Block("root", [
+            Number("a", 1, default=5), Str("s", default="hi"),
+        ]))
+        tree = model.build_default()
+        assert tree.raw == b"\x05hi"
+
+    def test_provider_overrides_leaf_values(self):
+        class FixedProvider(ValueProvider):
+            def leaf_value(self, field, path):
+                return 9 if field.name == "a" else None
+
+        model = DataModel("m", Block("root", [
+            Number("a", 1, default=5), Number("b", 1, default=6),
+        ]))
+        assert model.build(FixedProvider()).raw == b"\x09\x06"
+
+    def test_build_paths_include_nesting(self):
+        seen = []
+
+        class SpyProvider(ValueProvider):
+            def leaf_value(self, field, path):
+                seen.append(path)
+                return None
+
+        model = DataModel("m", Block("root", [
+            Block("inner", [Number("x", 1)]),
+        ]))
+        model.build(SpyProvider())
+        assert seen == ["root.inner.x"]
+
+    def test_choice_default_builds_first_option(self):
+        model = DataModel("m", Block("root", [
+            Choice("c", [Number("a", 1, default=1),
+                         Number("b", 1, default=2)]),
+        ]))
+        assert model.build_default().raw == b"\x01"
+
+    def test_choice_provider_selects_option(self):
+        class PickSecond(ValueProvider):
+            def choose_option(self, choice, path):
+                return 1
+
+        model = DataModel("m", Block("root", [
+            Choice("c", [Number("a", 1, default=1),
+                         Number("b", 1, default=2)]),
+        ]))
+        assert model.build(PickSecond()).raw == b"\x02"
+
+    def test_repeat_count_from_provider_clamped(self):
+        class Big(ValueProvider):
+            def repeat_count(self, repeat, path):
+                return 100
+
+        model = DataModel("m", Block("root", [
+            Repeat("r", Number("x", 1, default=7), max_count=3),
+        ]))
+        assert model.build(Big()).raw == b"\x07\x07\x07"
+
+    def test_offsets_assigned(self, fig1_model):
+        tree = fig1_model.build_default()
+        assert tree.find("ID").offset == 0
+        assert tree.find("Size").offset == 1
+        assert tree.find("Data").offset == 3
+        assert tree.find("CRC").offset == 12
+
+
+class TestParse:
+    def test_trailing_bytes_rejected(self):
+        model = DataModel("m", Block("root", [Number("a", 1)]))
+        with pytest.raises(ParseError):
+            model.parse(b"\x01\x02")
+
+    def test_truncated_input_rejected(self):
+        model = DataModel("m", Block("root", [Number("a", 4)]))
+        with pytest.raises(ParseError):
+            model.parse(b"\x01")
+
+    def test_constraint_violation_rejected(self):
+        model = DataModel("m", Block("root", [
+            Number("fc", 1, default=1, values=(1, 2)),
+        ]))
+        with pytest.raises(ParseError):
+            model.parse(b"\x07")
+
+    def test_variable_blob_consumes_remainder(self):
+        model = DataModel("m", Block("root", [
+            Number("a", 1), Blob("rest"),
+        ]))
+        tree = model.parse(b"\x01hello")
+        assert tree.find("rest").value == b"hello"
+
+    def test_variable_blob_respects_max_length(self):
+        model = DataModel("m", Block("root", [Blob("b", max_length=4)]))
+        with pytest.raises(ParseError):
+            model.parse(b"\x00" * 10)
+
+    def test_choice_tries_options_in_order(self):
+        model = DataModel("m", Block("root", [
+            Choice("c", [
+                Number("a", 1, default=1, token=True),
+                Number("b", 1, default=2, token=True),
+            ]),
+        ]))
+        assert model.parse(b"\x02").find("b").value == 2
+        with pytest.raises(ParseError):
+            model.parse(b"\x03")
+
+    def test_repeat_without_count_fills_extent(self):
+        model = DataModel("m", Block("root", [
+            Repeat("r", Number("x", 2), max_count=8),
+        ]))
+        tree = model.parse(b"\x00\x01\x00\x02\x00\x03")
+        assert [c.value for c in tree.find("r").children] == [1, 2, 3]
+
+    def test_matches_predicate(self, fig1_model):
+        raw = fig1_model.build_default().raw
+        assert fig1_model.matches(raw)
+        assert not fig1_model.matches(raw[:-1])
+
+    def test_parse_raw_equals_input(self, fig1_model):
+        raw = fig1_model.build_default().raw
+        assert fig1_model.parse(raw).raw == raw
+
+
+class TestLinear:
+    def test_linear_lists_leaves_in_order(self, fig1_model):
+        names = [f.name for f in fig1_model.linear()]
+        assert names == ["ID", "Size", "CompressionCode", "SampleRate",
+                         "ExtraData", "CRC"]
+
+    def test_linear_uses_default_shape_for_choice(self):
+        model = DataModel("m", Block("root", [
+            Choice("c", [Number("a", 1), Number("b", 1)]),
+        ]))
+        assert [f.name for f in model.linear()] == ["a"]
+
+    def test_linear_cached(self, fig1_model):
+        assert fig1_model.linear() is fig1_model.linear()
+
+
+class TestTransformer:
+    def test_transformer_applied_on_wire(self):
+        class Xor(Transformer):
+            def encode(self, data):
+                return bytes(b ^ 0x55 for b in data)
+
+            def decode(self, data):
+                return bytes(b ^ 0x55 for b in data)
+
+        model = DataModel("m", Block("root", [Number("a", 1, default=0)]),
+                          transformer=Xor())
+        wire = model.build_bytes()
+        assert wire == b"\x55"
+        assert model.parse(wire).find("a").value == 0
+
+
+class TestPit:
+    def test_pit_lookup_and_iteration(self, fig1_model):
+        pit = Pit("p", [fig1_model])
+        assert pit.model("fig1") is fig1_model
+        assert len(pit) == 1
+        assert list(pit) == [fig1_model]
+
+    def test_pit_rejects_duplicates(self, fig1_model):
+        with pytest.raises(ModelError):
+            Pit("p", [fig1_model, fig1_model])
+
+    def test_pit_rejects_empty(self):
+        with pytest.raises(ModelError):
+            Pit("p", [])
+
+    def test_pit_unknown_model(self, fig1_model):
+        with pytest.raises(ModelError):
+            Pit("p", [fig1_model]).model("ghost")

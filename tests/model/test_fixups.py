@@ -1,0 +1,125 @@
+"""Unit tests for checksum fixups and the CRC implementations."""
+
+import zlib
+
+import pytest
+
+from repro.model import (
+    Blob, Block, Crc16ModbusFixup, Crc32Fixup, Dnp3CrcFixup, Lrc8Fixup,
+    ModelError, Number, ParseError, Str, Sum8Fixup, Xor8Fixup, attach_fixup,
+    crc16_modbus, crc_dnp3, lrc8, sum8, xor8,
+)
+from repro.model.datamodel import DataModel
+
+
+class TestCrcAlgorithms:
+    def test_crc16_modbus_known_vector(self):
+        # standard check value for "123456789"
+        assert crc16_modbus(b"123456789") == 0x4B37
+
+    def test_crc_dnp3_known_vector(self):
+        # CRC-16/DNP check value for "123456789"
+        assert crc_dnp3(b"123456789") == 0xEA82
+
+    def test_crc16_modbus_empty(self):
+        assert crc16_modbus(b"") == 0xFFFF
+
+    def test_sum8(self):
+        assert sum8(b"\x01\x02\xff") == 0x02
+
+    def test_xor8(self):
+        assert xor8(b"\x0f\xf0\xff") == 0x00
+
+    def test_lrc8_complements_sum(self):
+        data = b"\x01\x02\x03"
+        assert (lrc8(data) + sum(data)) & 0xFF == 0
+
+
+class TestFixupMechanism:
+    def _crc_model(self, fixup_cls):
+        return DataModel("m", Block("root", [
+            Number("id", 1, default=0x42),
+            Blob("payload", default=b"hello", length=5),
+            attach_fixup(Number("crc", 4 if fixup_cls is Crc32Fixup else 2),
+                         fixup_cls(["id", "payload"])),
+        ]))
+
+    def test_crc32_computed_on_build(self):
+        tree = self._crc_model(Crc32Fixup).build_default()
+        expected = zlib.crc32(b"\x42hello") & 0xFFFFFFFF
+        assert tree.find("crc").value == expected
+
+    def test_crc16_modbus_computed_on_build(self):
+        tree = self._crc_model(Crc16ModbusFixup).build_default()
+        assert tree.find("crc").value == crc16_modbus(b"\x42hello")
+
+    def test_parse_verify_accepts_good_checksum(self):
+        model = self._crc_model(Crc32Fixup)
+        raw = model.build_default().raw
+        model.parse(raw, verify_fixups=True)  # must not raise
+
+    def test_parse_verify_rejects_corrupted_checksum(self):
+        model = self._crc_model(Crc32Fixup)
+        raw = bytearray(model.build_default().raw)
+        raw[-1] ^= 0xFF
+        with pytest.raises(ParseError):
+            model.parse(bytes(raw), verify_fixups=True)
+
+    def test_parse_without_verify_tolerates_bad_checksum(self):
+        model = self._crc_model(Crc32Fixup)
+        raw = bytearray(model.build_default().raw)
+        raw[-1] ^= 0xFF
+        model.parse(bytes(raw))  # lenient parse used by the cracker
+
+    def test_fixup_over_multiple_fields_concatenates_in_order(self):
+        model = DataModel("m", Block("root", [
+            Number("a", 1, default=1),
+            Number("b", 1, default=2),
+            attach_fixup(Number("sum", 1), Sum8Fixup(["b", "a"])),
+        ]))
+        tree = model.build_default()
+        # order follows the fixup's over= list (b then a) — same bytes here
+        assert tree.find("sum").value == 3
+
+    def test_fixup_covers_size_field_after_relation_resolution(self):
+        from repro.model import size_of
+        model = DataModel("m", Block("root", [
+            size_of(Number("size", 2), "payload"),
+            Blob("payload", default=b"xyz"),
+            attach_fixup(Number("crc", 4), Crc32Fixup(["size", "payload"])),
+        ]))
+        tree = model.build_default()
+        expected = zlib.crc32(b"\x00\x03xyz") & 0xFFFFFFFF
+        assert tree.find("crc").value == expected
+
+    def test_xor_and_lrc_fixups(self):
+        for fixup_cls, func in ((Xor8Fixup, xor8), (Lrc8Fixup, lrc8),
+                                (Sum8Fixup, sum8)):
+            model = DataModel("m", Block("root", [
+                Blob("payload", default=b"\x10\x20", length=2),
+                attach_fixup(Number("check", 1), fixup_cls(["payload"])),
+            ]))
+            assert model.build_default().find("check").value == \
+                func(b"\x10\x20")
+
+
+class TestFixupAttachment:
+    def test_fixup_requires_fixed_width_carrier(self):
+        with pytest.raises(ModelError):
+            attach_fixup(Blob("crc"), Crc32Fixup(["x"]))
+
+    def test_fixup_not_on_strings(self):
+        with pytest.raises(ModelError):
+            attach_fixup(Str("s"), Crc32Fixup(["x"]))
+
+    def test_empty_over_rejected(self):
+        with pytest.raises(ModelError):
+            Crc32Fixup([])
+
+    def test_missing_cover_target_raises_at_build(self):
+        model = DataModel("m", Block("root", [
+            Number("a", 1, default=0),
+            attach_fixup(Number("crc", 4), Crc32Fixup(["ghost"])),
+        ]))
+        with pytest.raises(ModelError):
+            model.build_default()

@@ -1,0 +1,80 @@
+"""Unit tests for the Instantiation Tree (paper Definitions 1 & 2)."""
+
+from repro.model import Blob, Block, Number
+from repro.model.datamodel import DataModel
+from repro.model.instree import InsNode
+
+
+class TestPuzzles:
+    def test_every_subtree_is_a_puzzle(self, fig1_model):
+        """Paper Alg. 2: leaves AND internal nodes each contribute one
+        puzzle; Fig. 1's tree has 8 nodes."""
+        tree = fig1_model.build_default()
+        puzzles = list(tree.iter_puzzles())
+        assert len(puzzles) == 8
+
+    def test_internal_puzzle_joints_children_in_order(self, fig1_model):
+        """Definition 2's example: the Data puzzle is the in-order joint
+        of CompressionCode, SampleRate and ExtraData."""
+        tree = fig1_model.build_default()
+        data_node = tree.find("Data")
+        expected = b"".join(child.raw for child in data_node.children)
+        assert data_node.raw == expected
+        puzzles = dict()
+        for signature, raw in tree.iter_puzzles():
+            puzzles.setdefault(signature.semantic, raw)
+        assert puzzles["Data"] == expected
+
+    def test_dfs_order_is_post_order(self, fig1_model):
+        tree = fig1_model.build_default()
+        semantics = [sig.semantic for sig, _raw in tree.iter_puzzles()]
+        # children appear before their parent (post-order joint)
+        assert semantics.index("CompressionCode") < semantics.index("Data")
+        assert semantics.index("Data") < semantics.index("root")
+        assert semantics[-1] == "root"
+
+    def test_root_puzzle_is_whole_packet(self, fig1_model):
+        tree = fig1_model.build_default()
+        puzzles = list(tree.iter_puzzles())
+        assert puzzles[-1][1] == tree.raw
+
+
+class TestTraversal:
+    def test_find_returns_first_dfs_match(self):
+        inner = InsNode(Number("x", 1), value=1, raw=b"\x01")
+        root = InsNode(Block("root", [Number("x", 1)]), children=[inner])
+        assert root.find("x") is inner
+        assert root.find("ghost") is None
+
+    def test_iter_leaves_skips_internal_nodes(self, fig1_model):
+        tree = fig1_model.build_default()
+        names = [leaf.name for leaf in tree.iter_leaves()]
+        assert "Data" not in names
+        assert "CompressionCode" in names
+
+    def test_leaf_values_uses_dotted_paths(self, fig1_model):
+        values = fig1_model.build_default().leaf_values()
+        assert values["root.Data.SampleRate"] == 44_100
+        assert values["root.ID"] == 0x7F
+
+    def test_pretty_rendering_mentions_fields(self, fig1_model):
+        text = fig1_model.build_default().pretty()
+        assert "SampleRate" in text
+        assert "InsTree<fig1>" in text
+
+    def test_parsed_tree_offsets_match_input(self, fig1_model):
+        raw = fig1_model.build_default().raw
+        tree = fig1_model.parse(raw)
+        for leaf in tree.iter_leaves():
+            assert raw[leaf.offset:leaf.offset + len(leaf.raw)] == leaf.raw
+
+
+class TestEquivalence:
+    def test_built_and_parsed_trees_agree(self, fig1_model):
+        """Crack of a generated seed reproduces its InsTree exactly."""
+        built = fig1_model.build_default()
+        parsed = fig1_model.parse(built.raw)
+        assert built.leaf_values() == parsed.leaf_values()
+        built_puzzles = [(str(s), r) for s, r in built.iter_puzzles()]
+        parsed_puzzles = [(str(s), r) for s, r in parsed.iter_puzzles()]
+        assert built_puzzles == parsed_puzzles

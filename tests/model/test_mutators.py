@@ -1,0 +1,155 @@
+"""Unit tests for the Peach-style mutators."""
+
+import random
+
+import pytest
+
+from repro.model import (
+    Blob, Block, Choice, DataModel, GenerationPolicy, MutatorProvider,
+    Number, Repeat, Str, number_edge_cases,
+)
+
+
+@pytest.fixture
+def provider(rng):
+    return MutatorProvider(rng)
+
+
+class TestEdgeCases:
+    def test_u8_edge_cases_within_width(self):
+        cases = number_edge_cases(Number("n", 1))
+        assert 0 in cases and 1 in cases and 255 in cases
+        assert all(-256 < c <= 255 for c in cases)
+
+    def test_u16_includes_byte_boundaries(self):
+        cases = number_edge_cases(Number("n", 2))
+        assert {0xFF, 0x100, 0x101, 0x7FFF, 0x8000, 0xFFFF} <= set(cases)
+
+    def test_signed_includes_extremes(self):
+        cases = number_edge_cases(Number("n", 2, signed=True))
+        assert -1 in cases and -(1 << 15) in cases and (1 << 15) - 1 in cases
+
+    def test_no_duplicates(self):
+        cases = number_edge_cases(Number("n", 4))
+        assert len(cases) == len(set(cases))
+
+
+class TestTokenHandling:
+    def test_tokens_never_mutated_by_default(self, rng):
+        provider = MutatorProvider(rng)
+        field = Number("magic", 1, default=0x68, token=True)
+        for _ in range(200):
+            assert provider.leaf_value(field, "p") is None  # keep default
+
+    def test_token_fuzzing_opt_in(self, rng):
+        policy = GenerationPolicy(token_fuzz_prob=1.0)
+        provider = MutatorProvider(rng, policy)
+        field = Number("magic", 1, default=0x68, token=True)
+        values = {provider.leaf_value(field, "p") for _ in range(100)}
+        assert values != {None}
+
+
+class TestValueDistribution:
+    def test_default_prob_one_always_yields_defaultish(self, rng):
+        policy = GenerationPolicy(default_prob=1.0, legal_value_prob=0,
+                                  edge_case_prob=0)
+        provider = MutatorProvider(rng, policy)
+        field = Number("n", 2, default=100)
+        values = [provider.leaf_value(field, "p") for _ in range(200)]
+        # mutation-on-default stays near the default
+        assert all(abs(v - 100) <= 0x100 for v in values)
+        assert 100 in values
+
+    def test_legal_values_drawn_from_value_set(self, rng):
+        policy = GenerationPolicy(default_prob=0, legal_value_prob=1.0,
+                                  edge_case_prob=0)
+        provider = MutatorProvider(rng, policy)
+        field = Number("fc", 1, default=1, values=(1, 3, 16))
+        values = {provider.leaf_value(field, "p") for _ in range(200)}
+        assert values <= {1, 3, 16}
+
+    def test_min_max_range_respected_by_legal_strategy(self, rng):
+        policy = GenerationPolicy(default_prob=0, legal_value_prob=1.0,
+                                  edge_case_prob=0)
+        provider = MutatorProvider(rng, policy)
+        field = Number("q", 2, default=5, minimum=1, maximum=125)
+        values = [provider.leaf_value(field, "p") for _ in range(200)]
+        assert all(1 <= v <= 125 for v in values)
+
+    def test_random_strings_are_printable(self, rng):
+        policy = GenerationPolicy(default_prob=0, legal_value_prob=0,
+                                  edge_case_prob=0)
+        provider = MutatorProvider(rng, policy)
+        field = Str("s", default="x")
+        for _ in range(100):
+            value = provider.leaf_value(field, "p")
+            assert all(32 <= ord(ch) < 127 for ch in value)
+
+    def test_random_blob_respects_policy_cap(self, rng):
+        policy = GenerationPolicy(default_prob=0, legal_value_prob=0,
+                                  edge_case_prob=0, max_blob_len=16)
+        provider = MutatorProvider(rng, policy)
+        field = Blob("b", default=b"")
+        assert all(len(provider.leaf_value(field, "p")) <= 16
+                   for _ in range(100))
+
+    def test_fixed_length_string_random_has_exact_length(self, rng):
+        policy = GenerationPolicy(default_prob=0, legal_value_prob=0,
+                                  edge_case_prob=0)
+        provider = MutatorProvider(rng, policy)
+        field = Str("s", default="abcd", length=4)
+        for _ in range(50):
+            assert len(provider.leaf_value(field, "p")) == 4
+
+
+class TestHistory:
+    def test_history_disabled_by_default(self, provider):
+        field = Number("n", 2, default=1)
+        provider.remember(field, 1234)
+        assert provider._from_history(field) is None
+
+    def test_history_reuse_when_enabled(self, rng):
+        policy = GenerationPolicy(history_prob=1.0, default_prob=0,
+                                  legal_value_prob=0, edge_case_prob=0)
+        provider = MutatorProvider(rng, policy)
+        field = Number("n", 2, default=1)
+        provider.remember(field, 777)
+        values = {provider.leaf_value(field, "p") for _ in range(100)}
+        # mutation-on-existing: drifts in ±1 steps around the remembered
+        # chunk (each mutated value is itself remembered)
+        assert all(abs(v - 777) <= 10 for v in values)
+        assert 777 in values
+
+    def test_history_bounded(self, rng):
+        policy = GenerationPolicy(history_prob=0.5, history_limit=4)
+        provider = MutatorProvider(rng, policy)
+        field = Number("n", 2, default=1)
+        for value in range(100):
+            provider.remember(field, value)
+        bucket = provider._history[field.signature().stable_id()]
+        assert len(bucket) == 4
+        assert bucket == [96, 97, 98, 99]
+
+
+class TestStructuralDecisions:
+    def test_choice_option_in_range(self, provider, rng):
+        choice = Choice("c", [Number("a", 1), Number("b", 1),
+                              Number("c2", 1)])
+        for _ in range(100):
+            assert 0 <= provider.choose_option(choice, "p") < 3
+
+    def test_repeat_count_within_bounds(self, provider):
+        repeat = Repeat("r", Number("x", 1), min_count=2, max_count=9)
+        for _ in range(200):
+            assert 2 <= provider.repeat_count(repeat, "p") <= 9
+
+    def test_generation_is_deterministic_under_seed(self):
+        model = DataModel("m", Block("root", [
+            Number("a", 2, default=1), Str("s", default="hi"),
+            Blob("b", default=b"\x00"),
+        ]))
+        first = [model.build(MutatorProvider(random.Random(5))).raw
+                 for _ in range(10)]
+        second = [model.build(MutatorProvider(random.Random(5))).raw
+                  for _ in range(10)]
+        assert first == second

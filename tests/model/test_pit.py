@@ -1,0 +1,150 @@
+"""Unit tests for the XML pit loader."""
+
+import pytest
+
+from repro.model import ParseError, load_pit_string
+from repro.model.pit import PitError
+
+DEMO_PIT = """
+<Pit name="demo">
+  <DataModel name="demo.packet">
+    <Number name="id" size="8" default="1" token="true"/>
+    <Number name="size" size="16" endian="big">
+      <Relation type="size" of="data"/>
+    </Number>
+    <Block name="data">
+      <Number name="code" size="8" values="1,2,3" semantic="opcode"/>
+      <Blob name="payload" maxLength="64" default="aabb"/>
+    </Block>
+    <Number name="crc" size="32">
+      <Fixup algorithm="crc32" over="id,size,data"/>
+    </Number>
+  </DataModel>
+  <DataModel name="demo.other" weight="0.5">
+    <Number name="id" size="8" default="2" token="true"/>
+    <String name="name" default="hello"/>
+  </DataModel>
+</Pit>
+"""
+
+
+class TestLoadPit:
+    def test_loads_models(self):
+        pit = load_pit_string(DEMO_PIT)
+        assert pit.name == "demo"
+        assert len(pit) == 2
+        assert pit.model("demo.other").weight == 0.5
+
+    def test_built_packet_roundtrips(self):
+        pit = load_pit_string(DEMO_PIT)
+        model = pit.model("demo.packet")
+        raw = model.build_bytes()
+        tree = model.parse(raw, verify_fixups=True)
+        assert tree.find("id").value == 1
+        assert tree.find("size").value == len(tree.find("data").raw)
+
+    def test_values_and_semantic_attributes(self):
+        pit = load_pit_string(DEMO_PIT)
+        code = pit.model("demo.packet").root.child("data").child("code")
+        assert code.values == (1, 2, 3)
+        assert code.signature().semantic == "opcode"
+
+    def test_hex_blob_default(self):
+        pit = load_pit_string(DEMO_PIT)
+        payload = pit.model("demo.packet").root.child("data").child("payload")
+        assert payload.default == b"\xaa\xbb"
+
+    def test_token_parse_enforced(self):
+        pit = load_pit_string(DEMO_PIT)
+        model = pit.model("demo.packet")
+        raw = bytearray(model.build_bytes())
+        raw[0] = 9
+        with pytest.raises(ParseError):
+            model.parse(bytes(raw))
+
+
+class TestChoiceRepeatElements:
+    def test_choice_and_repeat(self):
+        pit = load_pit_string("""
+        <Pit name="cr">
+          <DataModel name="cr.m">
+            <Number name="count" size="8">
+              <Relation type="count" of="items"/>
+            </Number>
+            <Repeat name="items" minCount="0" maxCount="5">
+              <Number name="item" size="16" default="7"/>
+            </Repeat>
+            <Choice name="tail">
+              <Number name="a" size="8" default="1" token="true"/>
+              <Number name="b" size="8" default="2" token="true"/>
+            </Choice>
+          </DataModel>
+        </Pit>
+        """)
+        model = pit.model("cr.m")
+        raw = model.build_bytes()
+        tree = model.parse(raw)
+        assert tree.find("count").value == len(tree.find("items").children)
+
+
+class TestErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(PitError):
+            load_pit_string("<Pit><unclosed>")
+
+    def test_wrong_root_element(self):
+        with pytest.raises(PitError):
+            load_pit_string("<NotAPit/>")
+
+    def test_unknown_element(self):
+        with pytest.raises(PitError):
+            load_pit_string("""
+            <Pit name="x"><DataModel name="m"><Widget name="w"/>
+            </DataModel></Pit>""")
+
+    def test_missing_required_attribute(self):
+        with pytest.raises(PitError):
+            load_pit_string("""
+            <Pit name="x"><DataModel name="m"><Number size="8"/>
+            </DataModel></Pit>""")
+
+    def test_non_octet_number_size(self):
+        with pytest.raises(PitError):
+            load_pit_string("""
+            <Pit name="x"><DataModel name="m"><Number name="n" size="12"/>
+            </DataModel></Pit>""")
+
+    def test_unknown_relation_type(self):
+        with pytest.raises(PitError):
+            load_pit_string("""
+            <Pit name="x"><DataModel name="m">
+            <Number name="n" size="8"><Relation type="offset" of="p"/></Number>
+            <Blob name="p"/></DataModel></Pit>""")
+
+    def test_unknown_fixup_algorithm(self):
+        with pytest.raises(PitError):
+            load_pit_string("""
+            <Pit name="x"><DataModel name="m">
+            <Number name="n" size="8"><Fixup algorithm="md5" over="p"/></Number>
+            <Blob name="p"/></DataModel></Pit>""")
+
+    def test_empty_data_model(self):
+        with pytest.raises(PitError):
+            load_pit_string('<Pit name="x"><DataModel name="m"/></Pit>')
+
+    def test_repeat_needs_single_child(self):
+        with pytest.raises(PitError):
+            load_pit_string("""
+            <Pit name="x"><DataModel name="m">
+            <Repeat name="r"><Number name="a" size="8"/>
+            <Number name="b" size="8"/></Repeat>
+            </DataModel></Pit>""")
+
+
+class TestFileLoading:
+    def test_load_from_file(self, tmp_path):
+        from repro.model import load_pit_file
+        path = tmp_path / "demo.xml"
+        path.write_text(DEMO_PIT)
+        pit = load_pit_file(str(path))
+        assert len(pit) == 2

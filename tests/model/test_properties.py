@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) on the data-model substrate.
+
+These pin the core invariants the fuzzer relies on:
+
+* build → parse is an identity on leaf values (for relation-consistent
+  models), with fixups verifying;
+* puzzles reassemble to the packet;
+* CRC implementations match their reference definitions;
+* the mutator pipeline never produces a packet the model cannot repair.
+"""
+
+import random
+import zlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.model import (
+    Blob, Block, Crc32Fixup, DataModel, MutatorProvider, Number, Str,
+    attach_fixup, crc16_modbus, crc_dnp3, lrc8, size_of, sum8, xor8,
+)
+
+
+def _packet_model():
+    return DataModel("pm", Block("root", [
+        Number("id", 1, default=0x10, token=True),
+        size_of(Number("size", 2), "body"),
+        Block("body", [
+            Number("code", 1, default=1),
+            Number("value", 4, default=0),
+            Blob("payload", default=b"", max_length=300),
+        ]),
+        attach_fixup(Number("crc", 4), Crc32Fixup(["id", "size", "body"])),
+    ]))
+
+
+values_strategy = st.tuples(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.binary(max_size=64),
+)
+
+
+class _PinProvider:
+    """ValueProvider pinning the three body leaves."""
+
+    def __init__(self, code, value, payload):
+        self.mapping = {"root.body.code": code, "root.body.value": value,
+                        "root.body.payload": payload}
+
+    def leaf_value(self, field, path):
+        return self.mapping.get(path)
+
+    def choose_option(self, choice, path):
+        return 0
+
+    def repeat_count(self, repeat, path):
+        return 1
+
+
+@given(values_strategy)
+@settings(max_examples=150, deadline=None)
+def test_build_parse_roundtrip_preserves_leaf_values(triple):
+    code, value, payload = triple
+    model = _packet_model()
+    tree = model.build(_PinProvider(code, value, payload))
+    parsed = model.parse(tree.raw, verify_fixups=True)
+    assert parsed.find("code").value == code
+    assert parsed.find("value").value == value
+    assert parsed.find("payload").value == payload
+    assert parsed.find("size").value == len(tree.find("body").raw)
+
+
+@given(values_strategy)
+@settings(max_examples=100, deadline=None)
+def test_puzzles_reassemble_to_packet(triple):
+    """Definition 2: leaf puzzles joint in order == the packet bytes."""
+    code, value, payload = triple
+    model = _packet_model()
+    tree = model.build(_PinProvider(code, value, payload))
+    leaf_join = b"".join(leaf.raw for leaf in tree.iter_leaves())
+    assert leaf_join == tree.raw
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_number_encode_decode_identity(value):
+    field = Number("n", 4)
+    assert field.decode(field.encode(value)) == value
+
+
+@given(st.integers(min_value=-2**31, max_value=2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_signed_number_identity(value):
+    field = Number("n", 4, signed=True)
+    assert field.decode(field.encode(value)) == value
+
+
+@given(st.binary(max_size=128))
+@settings(max_examples=100, deadline=None)
+def test_crc32_matches_zlib(data):
+    fixup = Crc32Fixup(["x"])
+    assert fixup.compute(data) == (zlib.crc32(data) & 0xFFFFFFFF)
+
+
+@given(st.binary(max_size=128))
+@settings(max_examples=100, deadline=None)
+def test_checksums_within_width(data):
+    assert 0 <= crc16_modbus(data) <= 0xFFFF
+    assert 0 <= crc_dnp3(data) <= 0xFFFF
+    assert 0 <= sum8(data) <= 0xFF
+    assert 0 <= xor8(data) <= 0xFF
+    assert 0 <= lrc8(data) <= 0xFF
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 7),
+       st.integers(0, 63))
+@settings(max_examples=100, deadline=None)
+def test_crc16_detects_single_bit_flips(data, bit, pos_seed):
+    pos = pos_seed % len(data)
+    flipped = bytearray(data)
+    flipped[pos] ^= 1 << bit
+    assert crc16_modbus(data) != crc16_modbus(bytes(flipped))
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_mutated_packets_always_reparse(seed):
+    """GENERATE + JOINT + fixups always yields a model-legal packet."""
+    model = _packet_model()
+    provider = MutatorProvider(random.Random(seed))
+    tree = model.build(provider)
+    parsed = model.parse(tree.raw, verify_fixups=True)
+    assert parsed.raw == tree.raw
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               max_size=32))
+@settings(max_examples=80, deadline=None)
+def test_str_field_identity_for_printable(text):
+    field = Str("s")
+    assert field.decode(field.encode(text)) == text

@@ -1,0 +1,120 @@
+"""Unit tests for size-of / count-of relations."""
+
+import pytest
+
+from repro.model import (
+    Blob, Block, CountOf, ModelError, Number, ParseError, Repeat, SizeOf,
+    Str, attach_relation, count_of, size_of,
+)
+from repro.model.datamodel import DataModel
+
+
+def _sized_model(adjust=0):
+    return DataModel("m", Block("root", [
+        size_of(Number("size", 2), "payload", adjust=adjust),
+        Blob("payload", default=b"\xAA\xBB\xCC"),
+    ]))
+
+
+class TestSizeOf:
+    def test_build_computes_target_length(self):
+        tree = _sized_model().build_default()
+        assert tree.find("size").value == 3
+
+    def test_adjust_added_on_build(self):
+        tree = _sized_model(adjust=2).build_default()
+        assert tree.find("size").value == 5
+
+    def test_parse_uses_size_for_variable_target(self):
+        model = DataModel("m", Block("root", [
+            size_of(Number("size", 1), "payload"),
+            Blob("payload", default=b"\x01"),
+            Number("tail", 1, default=0xEE),
+        ]))
+        raw = bytes((2, 0x41, 0x42, 0xEE))
+        tree = model.parse(raw)
+        assert tree.find("payload").value == b"\x41\x42"
+        assert tree.find("tail").value == 0xEE
+
+    def test_parse_rejects_announced_size_beyond_data(self):
+        model = _sized_model()
+        with pytest.raises(ParseError):
+            model.parse(bytes((0x00, 200, 0x01)))
+
+    def test_size_of_block_target(self):
+        model = DataModel("m", Block("root", [
+            size_of(Number("length", 1), "body"),
+            Block("body", [Number("a", 2, default=1),
+                           Blob("rest", default=b"xy")]),
+        ]))
+        tree = model.build_default()
+        assert tree.find("length").value == 4
+
+    def test_compute_and_invert_are_consistent(self):
+        relation = SizeOf("x", adjust=3)
+        assert relation.target_extent(relation.compute(b"12345", None)) == 5
+
+
+class TestCountOf:
+    def test_build_counts_repeat_elements(self):
+        model = DataModel("m", Block("root", [
+            count_of(Number("count", 1), "items"),
+            Repeat("items", Number("item", 2, default=7), min_count=0,
+                   max_count=10),
+        ]))
+        tree = model.build_default()
+        assert tree.find("count").value == 1
+
+    def test_parse_reads_exactly_count_elements(self):
+        model = DataModel("m", Block("root", [
+            count_of(Number("count", 1), "items"),
+            Repeat("items", Number("item", 1, default=0), min_count=0,
+                   max_count=10),
+            Number("tail", 1, default=0xEE),
+        ]))
+        raw = bytes((2, 0x0A, 0x0B, 0xEE))
+        tree = model.parse(raw)
+        items = tree.find("items")
+        assert [child.value for child in items.children] == [0x0A, 0x0B]
+        assert tree.find("tail").value == 0xEE
+
+    def test_parse_rejects_count_out_of_bounds(self):
+        model = DataModel("m", Block("root", [
+            count_of(Number("count", 1), "items"),
+            Repeat("items", Number("item", 1, default=0), min_count=0,
+                   max_count=2),
+        ]))
+        with pytest.raises(ParseError):
+            model.parse(bytes((3, 1, 2, 3)))
+
+    def test_count_of_non_repeat_target_rejected_at_build(self):
+        model = DataModel("m", Block("root", [
+            count_of(Number("count", 1), "payload"),
+            Blob("payload", default=b"ab"),
+        ]))
+        with pytest.raises(ModelError):
+            model.build_default()
+
+
+class TestAttachment:
+    def test_relation_only_on_numbers(self):
+        with pytest.raises(ModelError):
+            attach_relation(Str("s"), SizeOf("x"))
+
+    def test_relation_and_fixup_mutually_exclusive(self):
+        from repro.model import Crc32Fixup, attach_fixup
+        field = attach_fixup(Number("crc", 4), Crc32Fixup(["x"]))
+        with pytest.raises(ModelError):
+            attach_relation(field, SizeOf("x"))
+
+    def test_empty_target_name_rejected(self):
+        with pytest.raises(ModelError):
+            SizeOf("")
+
+    def test_missing_target_raises_at_build(self):
+        model = DataModel("m", Block("root", [
+            size_of(Number("size", 1), "nonexistent"),
+            Blob("payload", default=b"x"),
+        ]))
+        with pytest.raises(ModelError):
+            model.build_default()

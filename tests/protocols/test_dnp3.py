@@ -1,0 +1,199 @@
+"""Tests for the opendnp3-analog target: CRC framing, layers, object walk."""
+
+import pytest
+
+from repro.model import ParseError, choose_model, generate_packet
+from repro.protocols.dnp3 import (
+    Dnp3CrcTransformer, Dnp3Server, FrameError, add_crcs, build_request,
+    codec, make_pit, object_header, parse_response, strip_crcs,
+)
+from repro.sanitizer import MemoryFault, SimHeap
+
+
+@pytest.fixture
+def server():
+    return Dnp3Server()
+
+
+def _exec(server, frame):
+    return server.handle_packet(SimHeap(), frame)
+
+
+class TestCrcFraming:
+    def test_add_strip_roundtrip(self):
+        logical = codec.build_link_header(10, 0xC4, 1, 2) + b"\xC0\xC1\x01" \
+            + bytes(range(16)) * 2
+        assert strip_crcs(add_crcs(logical)) == logical
+
+    def test_crc_every_16_octets(self):
+        user = bytes(20)
+        logical = codec.build_link_header(5 + len(user), 0xC4, 1, 2) + user
+        wire = add_crcs(logical)
+        # header(8) + crc(2) + block(16) + crc(2) + block(4) + crc(2)
+        assert len(wire) == 8 + 2 + 16 + 2 + 4 + 2
+
+    def test_strip_detects_header_corruption(self):
+        wire = bytearray(build_request(codec.FC_READ,
+                                       object_header(60, 1, 0x06)))
+        wire[3] ^= 0xFF
+        with pytest.raises(FrameError):
+            strip_crcs(bytes(wire))
+
+    def test_strip_detects_block_corruption(self):
+        wire = bytearray(build_request(codec.FC_READ,
+                                       object_header(60, 1, 0x06)))
+        wire[-3] ^= 0xFF
+        with pytest.raises(FrameError):
+            strip_crcs(bytes(wire))
+
+    def test_transformer_rejects_bad_crc_as_parse_error(self):
+        transformer = Dnp3CrcTransformer()
+        wire = bytearray(build_request(codec.FC_READ,
+                                       object_header(60, 1, 0x06)))
+        wire[-1] ^= 0x01
+        with pytest.raises(ParseError):
+            transformer.decode(bytes(wire))
+
+
+class TestLinkLayer:
+    def test_class_poll_answered(self, server):
+        response = _exec(server, build_request(
+            codec.FC_READ, object_header(60, 1, codec.QC_ALL)))
+        parsed = parse_response(response)
+        assert parsed["app_fc"] == codec.FC_RESPONSE
+        assert parsed["iin"] & 0x8000  # device restart set initially
+
+    def test_wrong_destination_dropped(self, server):
+        frame = build_request(codec.FC_READ,
+                              object_header(60, 1, 0x06), dest=99)
+        assert _exec(server, frame) is None
+
+    def test_broadcast_accepted(self, server):
+        frame = build_request(codec.FC_READ,
+                              object_header(60, 1, 0x06), dest=0xFFFF)
+        assert _exec(server, frame) is not None
+
+    def test_corrupted_header_crc_dropped(self, server):
+        frame = bytearray(build_request(codec.FC_READ,
+                                        object_header(60, 1, 0x06)))
+        frame[8] ^= 0xFF
+        assert _exec(server, bytes(frame)) is None
+
+    def test_corrupted_block_crc_dropped(self, server):
+        frame = bytearray(build_request(codec.FC_READ,
+                                        object_header(60, 1, 0x06)))
+        frame[-1] ^= 0xFF
+        assert _exec(server, bytes(frame)) is None
+
+    def test_secondary_station_frame_ignored(self, server):
+        logical = codec.build_link_header(5, 0x00, 1, 2)
+        assert _exec(server, add_crcs(logical)) is None
+
+    def test_link_status_request(self, server):
+        logical = codec.build_link_header(5, 0x49, 1, 2)  # PRM + status
+        assert _exec(server, add_crcs(logical)) is not None
+
+
+class TestApplicationLayer:
+    def test_read_binaries_range(self, server):
+        objects = object_header(1, 2, codec.QC_START_STOP_8, bytes((0, 7)))
+        response = parse_response(_exec(server, build_request(
+            codec.FC_READ, objects)))
+        assert response["objects"][0] == 1  # group 1 static response
+
+    def test_read_counters_count_qualifier(self, server):
+        objects = object_header(20, 1, codec.QC_COUNT_8, bytes((4,)))
+        assert _exec(server, build_request(codec.FC_READ,
+                                           objects)) is not None
+
+    def test_write_time_accepted(self, server):
+        objects = object_header(50, 1, codec.QC_COUNT_8, bytes((1,))) \
+            + (1_700_000_000_000).to_bytes(6, "little")
+        response = parse_response(_exec(server, build_request(
+            codec.FC_WRITE, objects)))
+        assert response["iin"] & 0x00FF == 0  # no error bits
+
+    def test_clear_restart_iin(self, server):
+        objects = object_header(80, 1, codec.QC_START_STOP_8, bytes((7, 7)))
+        _exec(server, build_request(codec.FC_WRITE, objects))
+        follow = parse_response(_exec(server, build_request(
+            codec.FC_READ, object_header(60, 1, codec.QC_ALL))))
+        assert not follow["iin"] & 0x8000  # restart bit cleared
+
+    def test_select_then_operate_crob(self, server):
+        crob = bytes((1,)) + bytes((0,)) + bytes((1, 1)) \
+            + (100).to_bytes(4, "little") + (100).to_bytes(4, "little") \
+            + bytes((0,))
+        objects = object_header(12, 1, codec.QC_INDEX_8, crob[:1]) + crob[1:]
+        select = parse_response(_exec(server, build_request(
+            codec.FC_SELECT, objects)))
+        operate = parse_response(_exec(server, build_request(
+            codec.FC_OPERATE, objects)))
+        assert select["objects"][-1] == 0  # CROB status SUCCESS
+        assert operate["objects"][-1] == 0
+
+    def test_operate_without_select_fails(self, server):
+        crob = bytes((1,)) + bytes((2,)) + bytes((1, 1)) \
+            + (100).to_bytes(4, "little") + (100).to_bytes(4, "little") \
+            + bytes((0,))
+        objects = object_header(12, 1, codec.QC_INDEX_8, crob[:1]) + crob[1:]
+        operate = parse_response(_exec(server, build_request(
+            codec.FC_OPERATE, objects)))
+        assert operate["objects"][-1] == 2  # NO_SELECT
+
+    def test_cold_restart_returns_delay(self, server):
+        response = parse_response(_exec(server, build_request(
+            codec.FC_COLD_RESTART)))
+        assert response["objects"][0] == 52
+
+    def test_unsupported_function_sets_iin(self, server):
+        response = parse_response(_exec(server, build_request(99)))
+        assert response["iin"] & codec.IIN2_NO_FUNC_CODE_SUPPORT
+
+    def test_unknown_object_sets_iin(self, server):
+        objects = object_header(77, 1, codec.QC_ALL)
+        response = parse_response(_exec(server, build_request(
+            codec.FC_READ, objects)))
+        assert response["iin"] & codec.IIN2_OBJECT_UNKNOWN
+
+    def test_malformed_range_sets_parameter_error(self, server):
+        objects = object_header(1, 2, codec.QC_START_STOP_8, bytes((7,)))
+        response = parse_response(_exec(server, build_request(
+            codec.FC_READ, objects)))
+        assert response["iin"] & codec.IIN2_PARAMETER_ERROR
+
+    def test_confirm_has_no_response(self, server):
+        assert _exec(server, build_request(codec.FC_CONFIRM)) is None
+
+    def test_direct_operate_no_ack_silent(self, server):
+        crob = bytes((0,)) + bytes((1, 1)) \
+            + (100).to_bytes(4, "little") + (100).to_bytes(4, "little") \
+            + bytes((0,))
+        objects = object_header(12, 1, codec.QC_INDEX_8, bytes((1,))) + crob
+        assert _exec(server, build_request(codec.FC_DIRECT_OPERATE_NR,
+                                           objects)) is None
+
+
+class TestRobustness:
+    def test_no_faults_under_fuzzing(self, server, rng):
+        """Table I lists no opendnp3 bugs — fuzzing must not crash it."""
+        pit = make_pit()
+        for _ in range(1500):
+            model = choose_model(pit, rng)
+            _tree, wire = generate_packet(model, rng)
+            server.reset()
+            try:
+                _exec(server, wire)
+            except MemoryFault as fault:  # pragma: no cover
+                pytest.fail(f"unexpected fault: {fault}")
+
+    def test_pit_defaults_valid_and_answered(self, server):
+        for model in make_pit():
+            raw = model.build_bytes()
+            assert model.matches(raw)
+            server.reset()
+            _exec(server, raw)
+
+    def test_pit_packets_carry_valid_crcs(self):
+        for model in make_pit():
+            strip_crcs(model.build_bytes())  # must not raise

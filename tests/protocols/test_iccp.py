@@ -1,0 +1,171 @@
+"""Tests for the libiec_iccp_mod-analog TASE.2 target and its four bugs."""
+
+import pytest
+
+from repro.model import choose_model, generate_packet
+from repro.protocols.iccp import (
+    IccpServer, build_associate, build_info_report, build_read,
+    build_tpkt_cotp, build_write, codec, make_pit,
+)
+from repro.sanitizer import (
+    HeapBufferOverflow, MemoryFault, SimHeap, SimSegv,
+)
+
+
+@pytest.fixture
+def server():
+    return IccpServer()
+
+
+def _exec(server, frame):
+    return server.handle_packet(SimHeap(), frame)
+
+
+class TestAssociation:
+    def test_correct_bilateral_table_accepted(self, server):
+        response = _exec(server, build_associate())
+        assert response is not None
+        assert codec.MMS_INITIATE_RESPONSE in response
+
+    def test_wrong_bilateral_table_rejected(self, server):
+        response = _exec(server, build_associate("BLT-99"))
+        assert response is not None
+        assert not server.associated
+
+    def test_overlong_bilateral_table_rejected(self, server):
+        response = _exec(server, build_associate("X" * 40))
+        assert response is not None  # error PDU, no crash
+
+    def test_unassociated_confirmed_requests_rejected(self, server):
+        _exec(server, build_associate("BLT-99"))
+        response = _exec(server, build_read(1, "TSet_1"))
+        assert codec.MMS_CONFIRMED_ERROR in response
+
+
+class TestTransferSets:
+    def test_read_transfer_set(self, server):
+        response = _exec(server, build_read(1, "TSet_1"))
+        assert b"TSet_1" in response
+
+    def test_all_named_sets_readable(self, server):
+        for name in codec.TRANSFER_SETS:
+            assert b"TSet" in _exec(server, build_read(1, name))
+
+    def test_unknown_object_error(self, server):
+        response = _exec(server, build_read(1, "Whatever"))
+        assert codec.MMS_CONFIRMED_ERROR in response
+
+    def test_overlong_name_rejected_safely(self, server):
+        response = _exec(server, build_read(1, "N" * 33))
+        assert codec.MMS_CONFIRMED_ERROR in response
+
+
+class TestDataValues:
+    def test_read_data_value(self, server):
+        response = _exec(server, build_read(1, "DV_A"))
+        assert b"DV_A" in response
+
+    def test_indexed_read_within_bounds(self, server):
+        for index in range(4):
+            assert _exec(server, build_read(1, "DV_A", index=index))
+
+    def test_write_then_read_roundtrip(self, server):
+        _exec(server, build_write(1, "DV_B", b"\x11\x22\x33\x44"))
+        response = _exec(server, build_read(1, "DV_B"))
+        assert b"\x11\x22\x33\x44" in response
+
+    def test_write_unknown_name_error(self, server):
+        response = _exec(server, build_write(1, "DV_Z", b"\x00"))
+        assert codec.MMS_CONFIRMED_ERROR in response
+
+    def test_write_exactly_64_bytes_ok(self, server):
+        response = _exec(server, build_write(1, "DV_C", b"\x55" * 64))
+        assert codec.MMS_CONFIRMED_ERROR not in response
+
+
+class TestInformationMessages:
+    def test_valid_info_report_silent(self, server):
+        assert _exec(server, build_info_report(1, 1, 1, b"alarm")) is None
+
+    def test_in_table_refs_safe(self, server):
+        for ref in (0, 15, 31):
+            _exec(server, build_info_report(ref, 1, 1, b"x"))
+
+    def test_huge_ref_caught_by_sanity_bound(self, server):
+        assert _exec(server, build_info_report(5000, 1, 1, b"x")) is None
+
+    def test_missing_content_ignored(self, server):
+        from repro.protocols.common.ber import encode_tlv
+        body = encode_tlv(codec.TAG_INFO_REF, (1).to_bytes(2, "big"))
+        service = encode_tlv(codec.SVC_INFO_REPORT, body)
+        frame = build_tpkt_cotp(encode_tlv(codec.MMS_UNCONFIRMED, service))
+        assert _exec(server, frame) is None
+
+
+class TestSeededBugs:
+    def test_im_lookup_segv(self, server):
+        """Table I libiec_iccp_mod: SEGV #1 — refs past the 32-entry
+        table but under the lax 1024 sanity bound."""
+        with pytest.raises(SimSegv) as exc:
+            _exec(server, build_info_report(500, 1, 1, b"x"))
+        assert exc.value.site == "iccp_im.c:im_lookup"
+
+    def test_im_lookup_boundary(self, server):
+        _exec(server, build_info_report(31, 1, 1, b"x"))  # last valid
+        with pytest.raises(SimSegv):
+            server.reset()
+            _exec(server, build_info_report(32, 1, 1, b"x"))  # first bad
+
+    def test_ts_name_tail_segv_on_empty_name(self, server):
+        """SEGV #2 — name[len-1] with len == 0."""
+        with pytest.raises(SimSegv) as exc:
+            _exec(server, build_read(1, ""))
+        assert exc.value.site == "tase2_ts.c:ts_name_tail"
+
+    def test_dv_element_segv_on_wild_index(self, server):
+        """SEGV #3 — element address computed from the packet index."""
+        with pytest.raises(SimSegv) as exc:
+            _exec(server, build_read(1, "DV_A", index=2000))
+        assert exc.value.site == "iccp_dv.c:dv_element"
+
+    def test_dv_write_copy_overflow(self, server):
+        """Heap-buffer-overflow — 64-byte entry, declared-length copy."""
+        with pytest.raises(HeapBufferOverflow) as exc:
+            _exec(server, build_write(1, "DV_A", b"A" * 80))
+        assert exc.value.site == "iccp_dv.c:dv_write_copy"
+
+    def test_exactly_four_seeded_sites_under_fuzzing(self, server, rng):
+        pit = make_pit()
+        sites = set()
+        for _ in range(2000):
+            model = choose_model(pit, rng)
+            _tree, wire = generate_packet(model, rng)
+            server.reset()
+            try:
+                _exec(server, wire)
+            except MemoryFault as fault:
+                sites.add((fault.kind, fault.site))
+        allowed = {
+            ("SEGV", "iccp_im.c:im_lookup"),
+            ("SEGV", "tase2_ts.c:ts_name_tail"),
+            ("SEGV", "iccp_dv.c:dv_element"),
+            ("heap-buffer-overflow", "iccp_dv.c:dv_write_copy"),
+        }
+        assert sites <= allowed
+
+
+class TestPit:
+    def test_pit_defaults_valid_and_safe(self, server):
+        for model in make_pit():
+            raw = model.build_bytes()
+            assert model.matches(raw)
+            server.reset()
+            _exec(server, raw)
+
+    def test_object_name_semantic_shared(self):
+        pit = make_pit()
+        read_ts = pit.model("iccp.read_transfer_set")
+        write_dv = pit.model("iccp.write_data_value")
+        name_a = [f for f in read_ts.linear() if f.name == "name_value"][0]
+        name_b = [f for f in write_dv.linear() if f.name == "name_value"][0]
+        assert name_a.signature() == name_b.signature()

@@ -1,0 +1,145 @@
+"""Tests for the IEC104 target (the small one — no seeded bugs)."""
+
+import pytest
+
+from repro.model import choose_model, generate_packet
+from repro.protocols.iec104 import (
+    Iec104Server, build_asdu, build_i_frame, build_s_frame, build_u_frame,
+    codec, frame_kind, make_pit,
+)
+from repro.sanitizer import MemoryFault, SimHeap
+
+
+@pytest.fixture
+def server():
+    return Iec104Server()
+
+
+def _exec(server, frame):
+    return server.handle_packet(SimHeap(), frame)
+
+
+class TestCodec:
+    def test_u_frame_shape(self):
+        frame = build_u_frame(codec.U_STARTDT_ACT)
+        assert frame[0] == 0x68 and frame[1] == 4
+        assert frame_kind(frame) == "U"
+
+    def test_s_frame_sequence_encoding(self):
+        frame = build_s_frame(5)
+        assert frame_kind(frame) == "S"
+        assert frame[4] == (5 << 1) & 0xFF
+
+    def test_i_frame_wraps_asdu(self):
+        asdu = build_asdu(codec.C_IC_NA_1, 1, 6, 1, 0, bytes((20,)))
+        frame = build_i_frame(0, 0, asdu)
+        assert frame_kind(frame) == "I"
+        assert frame[1] == 4 + len(asdu)
+
+    def test_frame_kind_invalid(self):
+        assert frame_kind(b"\x00\x00") == "invalid"
+
+
+class TestUFrames:
+    def test_startdt_confirmed(self, server):
+        response = _exec(server, build_u_frame(codec.U_STARTDT_ACT))
+        assert response == build_u_frame(codec.U_STARTDT_CON)
+        assert server.started
+
+    def test_stopdt_stops_data_transfer(self, server):
+        _exec(server, build_u_frame(codec.U_STOPDT_ACT))
+        assert not server.started
+
+    def test_testfr_confirmed(self, server):
+        response = _exec(server, build_u_frame(codec.U_TESTFR_ACT))
+        assert response == build_u_frame(codec.U_TESTFR_CON)
+
+    def test_confirmations_ignored(self, server):
+        assert _exec(server, build_u_frame(codec.U_STARTDT_CON)) is None
+
+    def test_unknown_u_function_ignored(self, server):
+        frame = bytes((0x68, 4, 0xFF, 0, 0, 0))
+        assert _exec(server, frame) is None
+
+
+class TestIFrames:
+    def test_interrogation_activation_confirmed(self, server):
+        asdu = build_asdu(codec.C_IC_NA_1, 1, 6, 1, 0, bytes((20,)))
+        response = _exec(server, build_i_frame(0, 0, asdu))
+        assert response is not None
+        assert response[6] == codec.C_IC_NA_1
+        assert response[8] & 0x3F == 7  # activation confirmation
+
+    def test_interrogation_group_qoi(self, server):
+        asdu = build_asdu(codec.C_IC_NA_1, 1, 6, 1, 0, bytes((22,)))
+        assert _exec(server, build_i_frame(0, 0, asdu)) is not None
+
+    def test_interrogation_bad_qoi_negatively_confirmed(self, server):
+        asdu = build_asdu(codec.C_IC_NA_1, 1, 6, 1, 0, bytes((99,)))
+        response = _exec(server, build_i_frame(0, 0, asdu))
+        assert response[8] & 0x40  # negative bit
+
+    def test_single_command_select_and_execute(self, server):
+        select = build_asdu(codec.C_SC_NA_1, 1, 6, 1, 0, bytes((0x81,)))
+        response = _exec(server, build_i_frame(0, 0, select))
+        assert response is not None
+
+    def test_clock_sync_valid_time_echoed(self, server):
+        time7 = bytes((0x00, 0x00, 30, 12, 1, 6, 26))
+        asdu = build_asdu(codec.C_CS_NA_1, 1, 6, 1, 0, time7)
+        response = _exec(server, build_i_frame(0, 0, asdu))
+        assert response is not None
+        assert time7 in response
+
+    def test_clock_sync_invalid_minute_dropped(self, server):
+        time7 = bytes((0x00, 0x00, 61, 12, 1, 6, 26))
+        asdu = build_asdu(codec.C_CS_NA_1, 1, 6, 1, 0, time7)
+        assert _exec(server, build_i_frame(0, 0, asdu)) is None
+
+    def test_truncated_clock_sync_safely_dropped(self, server):
+        """Unlike lib60870, the simple implementation length-checks."""
+        asdu = build_asdu(codec.C_CS_NA_1, 1, 6, 1, 0, b"\x00\x01")
+        assert _exec(server, build_i_frame(0, 0, asdu)) is None
+
+    def test_monitored_data_accepted_silently(self, server):
+        asdu = build_asdu(codec.M_SP_NA_1, 1, 3, 1, 0x10, bytes((1,)))
+        assert _exec(server, build_i_frame(0, 0, asdu)) is None
+
+    def test_unknown_type_negatively_confirmed(self, server):
+        asdu = build_asdu(200, 1, 6, 1, 0, b"")
+        response = _exec(server, build_i_frame(0, 0, asdu))
+        assert response is not None
+
+    def test_stopped_server_ignores_i_frames(self, server):
+        _exec(server, build_u_frame(codec.U_STOPDT_ACT))
+        asdu = build_asdu(codec.C_IC_NA_1, 1, 6, 1, 0, bytes((20,)))
+        assert _exec(server, build_i_frame(0, 0, asdu)) is None
+
+    def test_recv_seq_increments(self, server):
+        asdu = build_asdu(codec.C_IC_NA_1, 1, 6, 1, 0, bytes((20,)))
+        _exec(server, build_i_frame(0, 0, asdu))
+        assert server.recv_seq == 1
+
+
+class TestRobustness:
+    def test_length_mismatch_dropped(self, server):
+        frame = bytearray(build_u_frame(codec.U_TESTFR_ACT))
+        frame[1] = 10
+        assert _exec(server, bytes(frame)) is None
+
+    def test_no_faults_under_fuzzing(self, server, rng):
+        """Table I lists no bugs for IEC104 — fuzzing must not crash it."""
+        pit = make_pit()
+        for _ in range(1500):
+            model = choose_model(pit, rng)
+            _tree, wire = generate_packet(model, rng)
+            try:
+                _exec(server, wire)
+            except MemoryFault as fault:  # pragma: no cover
+                pytest.fail(f"unexpected fault: {fault}")
+
+    def test_pit_defaults_valid(self, server):
+        for model in make_pit():
+            raw = model.build_bytes()
+            assert model.matches(raw)
+            _exec(server, raw)

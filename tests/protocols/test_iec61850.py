@@ -1,0 +1,180 @@
+"""Tests for the libiec61850-analog MMS target."""
+
+import pytest
+
+from repro.model import choose_model, generate_packet
+from repro.protocols.common.ber import decode_tlv, iter_tlvs
+from repro.protocols.iec61850 import (
+    Iec61850Server, build_conclude_request, build_get_name_list,
+    build_identify_request, build_initiate_request, build_read_request,
+    build_tpkt_cotp, build_write_request, codec, make_pit, strip_tpkt_cotp,
+)
+from repro.sanitizer import MemoryFault, SimHeap
+
+
+@pytest.fixture
+def server():
+    return Iec61850Server()
+
+
+def _exec(server, frame):
+    return server.handle_packet(SimHeap(), frame)
+
+
+def _mms(response):
+    return strip_tpkt_cotp(response)
+
+
+class TestFraming:
+    def test_tpkt_cotp_roundtrip(self):
+        payload = b"\xA0\x03\x02\x01\x01"
+        assert strip_tpkt_cotp(build_tpkt_cotp(payload)) == payload
+
+    def test_bad_tpkt_version_dropped(self, server):
+        frame = bytearray(build_identify_request(1))
+        frame[0] = 9
+        assert _exec(server, bytes(frame)) is None
+
+    def test_tpkt_length_mismatch_dropped(self, server):
+        frame = bytearray(build_identify_request(1))
+        frame[3] += 1
+        assert _exec(server, bytes(frame)) is None
+
+    def test_non_dt_cotp_dropped(self, server):
+        frame = bytearray(build_identify_request(1))
+        frame[5] = 0xE0  # CR instead of DT
+        assert _exec(server, bytes(frame)) is None
+
+
+class TestServices:
+    def test_initiate_answered(self, server):
+        response = _exec(server, build_initiate_request())
+        assert _mms(response)[0] == codec.MMS_INITIATE_RESPONSE
+
+    def test_conclude_answered(self, server):
+        response = _exec(server, build_conclude_request())
+        assert _mms(response)[0] == codec.MMS_CONCLUDE_RESPONSE
+
+    def test_identify_mentions_vendor(self, server):
+        response = _exec(server, build_identify_request(5))
+        assert b"libiec61850-analog" in _mms(response)
+
+    def test_read_known_variable(self, server):
+        response = _exec(server, build_read_request(
+            1, [("IED1_LD0", "LLN0$ST$Mod$stVal")]))
+        mms = _mms(response)
+        assert mms[0] == codec.MMS_CONFIRMED_RESPONSE
+        assert bytes((codec.DATA_INTEGER,)) in mms
+
+    def test_read_unknown_variable_data_access_error(self, server):
+        response = _exec(server, build_read_request(
+            1, [("IED1_LD0", "NoSuch$Item")]))
+        mms = _mms(response)
+        assert mms[0] == codec.MMS_CONFIRMED_RESPONSE
+        assert b"\x80\x01\x0a" in mms  # DataAccessError object-nonexistent
+
+    def test_read_unknown_domain(self, server):
+        response = _exec(server, build_read_request(
+            1, [("GHOST_LD", "LLN0$ST$Mod$stVal")]))
+        assert b"\x80\x01\x0a" in _mms(response)
+
+    def test_read_multiple_variables(self, server):
+        response = _exec(server, build_read_request(1, [
+            ("IED1_LD0", "LLN0$ST$Mod$stVal"),
+            ("IED1_LD1", "XCBR1$ST$Pos$stVal"),
+        ]))
+        mms = _mms(response)
+        assert mms.count(bytes((codec.DATA_INTEGER,))) >= 2
+
+    def test_write_control_value(self, server):
+        data = bytes((codec.DATA_BOOLEAN, 1, 1))
+        response = _exec(server, build_write_request(
+            1, "IED1_LD0", "GGIO1$CO$SPCSO1$Oper$ctlVal", data))
+        assert b"\x81\x00" in _mms(response)  # write success
+        assert server.model["IED1_LD0"]["GGIO1$CO$SPCSO1$Oper$ctlVal"][1] \
+            is True
+
+    def test_write_readonly_denied(self, server):
+        data = bytes((codec.DATA_INTEGER, 1, 5))
+        response = _exec(server, build_write_request(
+            1, "IED1_LD0", "LLN0$ST$Mod$stVal", data))
+        assert bytes((0x80, 1, 3)) in _mms(response)  # access denied
+
+    def test_write_type_mismatch(self, server):
+        data = bytes((codec.DATA_BOOLEAN, 1, 1))  # bool into int attribute
+        response = _exec(server, build_write_request(
+            1, "IED1_LD0", "LLN0$CF$Mod$ctlModel", data))
+        assert bytes((0x80, 1, 7)) in _mms(response)  # type inconsistent
+
+    def test_get_name_list_vmd_lists_domains(self, server):
+        response = _exec(server, build_get_name_list(1, 9, None))
+        mms = _mms(response)
+        assert b"IED1_LD0" in mms and b"IED1_LD1" in mms
+
+    def test_get_name_list_domain_lists_items(self, server):
+        response = _exec(server, build_get_name_list(1, 9, "IED1_LD1"))
+        assert b"XCBR1$ST$Pos$stVal" in _mms(response)
+
+    def test_get_name_list_unknown_domain_error(self, server):
+        response = _exec(server, build_get_name_list(1, 9, "NOPE"))
+        assert _mms(response)[0] == codec.MMS_CONFIRMED_ERROR
+
+    def test_unknown_service_confirmed_error(self, server):
+        from repro.protocols.common.ber import encode_integer, encode_tlv
+        pdu = encode_tlv(codec.MMS_CONFIRMED_REQUEST,
+                         encode_integer(1) + encode_tlv(0xBF, b""))
+        response = _exec(server, build_tpkt_cotp(pdu))
+        assert _mms(response)[0] == codec.MMS_CONFIRMED_ERROR
+
+    def test_invoke_id_echoed(self, server):
+        response = _exec(server, build_identify_request(0x42))
+        mms = _mms(response)
+        _tag, value, _pos = decode_tlv(mms)
+        invoke_tag, invoke_val, _ = decode_tlv(value)
+        assert invoke_tag == 0x02
+        assert invoke_val == b"\x42"
+
+
+class TestRobustness:
+    def test_malformed_ber_rejected_without_response(self, server):
+        assert _exec(server, build_tpkt_cotp(b"\xA0\x7F")) is None
+
+    def test_long_identifier_rejected(self, server):
+        response = _exec(server, build_read_request(
+            1, [("IED1_LD0", "A" * 70)]))
+        assert _mms(response)[0] == codec.MMS_CONFIRMED_ERROR
+
+    def test_non_printable_identifier_rejected(self, server):
+        response = _exec(server, build_read_request(
+            1, [("IED1_LD0", "bad\x01name")]))
+        assert _mms(response)[0] == codec.MMS_CONFIRMED_ERROR
+
+    def test_no_faults_under_fuzzing(self, server, rng):
+        """Table I lists no libiec61850 bugs — fuzzing must not crash."""
+        pit = make_pit()
+        for _ in range(1500):
+            model = choose_model(pit, rng)
+            _tree, wire = generate_packet(model, rng)
+            server.reset()
+            try:
+                _exec(server, wire)
+            except MemoryFault as fault:  # pragma: no cover
+                pytest.fail(f"unexpected fault: {fault}")
+
+    def test_pit_defaults_valid_and_answered(self, server):
+        for model in make_pit():
+            raw = model.build_bytes()
+            assert model.matches(raw)
+            server.reset()
+            _exec(server, raw)
+
+    def test_pit_nested_length_relations_consistent(self):
+        """Every BER length byte must equal its content's length."""
+        for model in make_pit():
+            tree = model.build_default()
+            for leaf in tree.iter_leaves():
+                relation = leaf.field.relation
+                if relation is None:
+                    continue
+                target = tree.find(relation.of)
+                assert leaf.value == len(target.raw) + relation.adjust

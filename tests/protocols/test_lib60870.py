@@ -1,0 +1,193 @@
+"""Tests for the lib60870 target, including the paper's Listing 1 bug."""
+
+import pytest
+
+from repro.model import choose_model, generate_packet
+from repro.protocols.lib60870 import (
+    Lib60870Server, build_apci_i, build_asdu, build_object, build_u_frame,
+    codec, cp56time, make_pit,
+)
+from repro.sanitizer import MemoryFault, SimHeap, SimSegv
+
+
+@pytest.fixture
+def server():
+    return Lib60870Server()
+
+
+def _exec(server, frame):
+    return server.handle_packet(SimHeap(), frame)
+
+
+def _command(type_id, cot, ioa, element, count=1):
+    asdu = build_asdu(type_id, count, False, cot, 0, 1,
+                      build_object(ioa, element))
+    return build_apci_i(0, 0, asdu)
+
+
+class TestApci:
+    def test_startdt_confirm(self, server):
+        assert _exec(server, build_u_frame(0x07)) == build_u_frame(0x0B)
+
+    def test_testfr_confirm(self, server):
+        assert _exec(server, build_u_frame(0x43)) == build_u_frame(0x83)
+
+    def test_stopdt_disables_asdu_processing(self, server):
+        _exec(server, build_u_frame(0x13))
+        assert _exec(server, _command(codec.C_IC_NA_1, 6, 0,
+                                      bytes((20,)))) is None
+
+    def test_s_frame_no_response(self, server):
+        assert _exec(server, bytes((0x68, 4, 0x01, 0, 2, 0))) is None
+
+    def test_bad_start_byte_dropped(self, server):
+        assert _exec(server, bytes((0x69, 4, 0x07, 0, 0, 0))) is None
+
+    def test_length_mismatch_dropped(self, server):
+        assert _exec(server, bytes((0x68, 9, 0x07, 0, 0, 0))) is None
+
+
+class TestCommands:
+    def test_interrogation_confirmed(self, server):
+        response = _exec(server, _command(codec.C_IC_NA_1, 6, 0,
+                                          bytes((20,))))
+        assert response is not None
+        assert response[6] == codec.C_IC_NA_1
+
+    def test_counter_interrogation(self, server):
+        response = _exec(server, _command(codec.C_CI_NA_1, 6, 0,
+                                          bytes((0x05,))))
+        assert response is not None
+
+    def test_clock_sync_valid(self, server):
+        response = _exec(server, _command(codec.C_CS_NA_1, 6, 0,
+                                          cp56time(0, 30, 12)))
+        assert response is not None
+
+    def test_read_command_known_ioa(self, server):
+        asdu = build_asdu(codec.C_RD_NA_1, 1, False, 5, 0, 1,
+                          build_object(codec.IOA_BASE, b""))
+        response = _exec(server, build_apci_i(0, 0, asdu))
+        assert response is not None
+        assert response[6] == codec.M_ME_NB_1  # replies with a measurement
+
+    def test_single_command_in_range_ioa(self, server):
+        response = _exec(server, _command(codec.C_SC_NA_1, 6,
+                                          codec.IOA_BASE, bytes((0x01,))))
+        assert response is not None
+
+    def test_single_command_unknown_ioa_negative(self, server):
+        response = _exec(server, _command(codec.C_SC_NA_1, 6, 5,
+                                          bytes((0x01,))))
+        assert response[8] & 0x40  # negative confirmation bit
+
+    def test_double_command_invalid_state(self, server):
+        response = _exec(server, _command(codec.C_DC_NA_1, 6,
+                                          codec.IOA_BASE, bytes((0x00,))))
+        assert response is not None
+
+    def test_setpoint_in_range_ok(self, server):
+        element = b"\x00\x40" + b"\x00"  # NVA + QOS(0, in range)
+        response = _exec(server, _command(codec.C_SE_NA_1, 6,
+                                          codec.IOA_BASE, element))
+        assert response is not None
+
+    def test_wrong_cot_negatively_confirmed(self, server):
+        response = _exec(server, _command(codec.C_IC_NA_1, 3, 0,
+                                          bytes((20,))))
+        assert response[8] & 0x40
+
+
+class TestMonitorDirection:
+    def test_single_points_decoded(self, server):
+        assert _exec(server, _command(codec.M_SP_NA_1, 3, 0x10,
+                                      bytes((1,)))) is None
+
+    def test_sequence_of_objects(self, server):
+        # SQ=1: one IOA then three contiguous elements
+        objects = build_object(0x10, bytes((1,))) + bytes((0,)) + bytes((1,))
+        asdu = build_asdu(codec.M_SP_NA_1, 3, True, 3, 0, 1, objects)
+        assert _exec(server, build_apci_i(0, 0, asdu)) is None
+
+    def test_truncated_object_list_safely_dropped(self, server):
+        asdu = build_asdu(codec.M_ME_NC_1, 4, False, 3, 0, 1,
+                          build_object(0x10, b"\x00\x00"))
+        assert _exec(server, build_apci_i(0, 0, asdu)) is None
+
+    def test_unknown_type_id_negative_confirm(self, server):
+        asdu = build_asdu(0xC8, 1, False, 3, 0, 1, b"")
+        response = _exec(server, build_apci_i(0, 0, asdu))
+        assert response is not None
+        assert response[8] & 0x40
+
+
+class TestSeededBugs:
+    def test_getcot_segv_on_two_byte_asdu(self, server):
+        """Paper Listing 1/2: CS101_ASDU_getCOT reads asdu[2] without
+        verification — SEGV on a 2-byte ASDU."""
+        with pytest.raises(SimSegv) as exc:
+            _exec(server, build_apci_i(0, 0, b"\x67\x01"))
+        assert exc.value.site == "cs101_asdu.c:CS101_ASDU_getCOT"
+
+    def test_getcot_segv_on_one_byte_asdu(self, server):
+        with pytest.raises(SimSegv):
+            _exec(server, build_apci_i(0, 0, b"\x67"))
+
+    def test_getcot_safe_on_three_byte_asdu(self, server):
+        _exec(server, build_apci_i(0, 0, b"\x67\x01\x06"))  # no fault
+
+    def test_lookup_object_segv_on_wild_ioa(self, server):
+        element = b"\x00\x40" + b"\x00"
+        with pytest.raises(SimSegv) as exc:
+            _exec(server, _command(codec.C_SE_NA_1, 6, 0xFFFFFF, element))
+        assert exc.value.site == "cs101_slave.c:lookup_object"
+
+    def test_lookup_object_gated_by_qos(self, server):
+        """QOS out of range takes the checked path before the lookup."""
+        element = b"\x00\x40" + b"\x7F"  # QOS qualifier 127 > 31
+        response = _exec(server, _command(codec.C_SE_NA_1, 6, 0xFFFFFF,
+                                          element))
+        assert response is not None  # negative confirm, no crash
+
+    def test_clock_sync_segv_on_truncated_time(self, server):
+        with pytest.raises(SimSegv) as exc:
+            _exec(server, _command(codec.C_CS_NA_1, 6, 0, b"\x00\x01"))
+        assert exc.value.site == "cs104_slave.c:handle_clock_sync"
+
+    def test_exactly_three_seeded_sites_under_fuzzing(self, server, rng):
+        pit = make_pit()
+        sites = set()
+        for _ in range(2000):
+            model = choose_model(pit, rng)
+            _tree, wire = generate_packet(model, rng)
+            server.reset()
+            try:
+                _exec(server, wire)
+            except MemoryFault as fault:
+                sites.add((fault.kind, fault.site))
+        allowed = {
+            ("SEGV", "cs101_asdu.c:CS101_ASDU_getCOT"),
+            ("SEGV", "cs101_slave.c:lookup_object"),
+            ("SEGV", "cs104_slave.c:handle_clock_sync"),
+        }
+        assert sites <= allowed
+
+
+class TestPit:
+    def test_pit_defaults_valid_and_safe(self, server):
+        for model in make_pit():
+            raw = model.build_bytes()
+            assert model.matches(raw)
+            server.reset()
+            _exec(server, raw)
+
+    def test_asdu_header_semantics_shared(self):
+        pit = make_pit()
+        a = pit.model("lib60870.interrogation").root.find("cot") \
+            if hasattr(pit.model("lib60870.interrogation").root, "find") \
+            else None
+        clock = pit.model("lib60870.clock_sync")
+        interro = pit.model("lib60870.interrogation")
+        cot_a = [f for f in interro.linear() if f.name == "cot"][0]
+        cot_b = [f for f in clock.linear() if f.name == "cot"][0]
+        assert cot_a.signature() == cot_b.signature()

@@ -1,0 +1,246 @@
+"""Tests for the libmodbus-analog target: codec, server, pit, seeded bugs."""
+
+import pytest
+
+from repro.model import choose_model, generate_packet
+from repro.protocols.modbus import (
+    ModbusServer, build_diagnostics, build_mask_write, build_mbap,
+    build_read_request, build_read_write_multiple, build_write_multiple_coils,
+    build_write_multiple_registers, build_write_single, codec, make_pit,
+    parse_mbap, parse_response,
+)
+from repro.sanitizer import (
+    HeapUseAfterFree, MemoryFault, SimHeap, SimSegv,
+)
+
+
+@pytest.fixture
+def server():
+    return ModbusServer()
+
+
+def _exec(server, frame):
+    return server.handle_packet(SimHeap(), frame)
+
+
+class TestCodec:
+    def test_mbap_roundtrip(self):
+        frame = build_mbap(7, 3, b"\x03\x00\x00\x00\x01")
+        header, pdu = parse_mbap(frame)
+        assert header.transaction_id == 7
+        assert header.unit_id == 3
+        assert pdu[0] == 0x03
+
+    def test_mbap_length_covers_unit_and_pdu(self):
+        frame = build_mbap(1, 1, b"\x03\xAA")
+        header, _pdu = parse_mbap(frame)
+        assert header.length == 3
+
+    def test_parse_mbap_rejects_bad_length(self):
+        frame = bytearray(build_read_request(3, 0, 1))
+        frame[5] ^= 0x20
+        with pytest.raises(ValueError):
+            parse_mbap(bytes(frame))
+
+    def test_parse_response_exception_form(self):
+        frame = build_mbap(1, 1, bytes((0x83, 0x02)))
+        fc, payload, exc = parse_response(frame)
+        assert fc == 0x03
+        assert exc == 0x02
+
+
+class TestReads:
+    def test_read_holding_registers_happy_path(self, server):
+        fc, payload, exc = parse_response(
+            _exec(server, build_read_request(0x03, 0, 2)))
+        assert exc is None
+        assert payload[0] == 4  # byte count
+        assert payload[1:] == b"\x12\x34\x56\x78"
+
+    def test_read_coils_bit_packing(self, server):
+        fc, payload, exc = parse_response(
+            _exec(server, build_read_request(0x01, 0, 9)))
+        assert exc is None
+        assert payload[0] == 2  # 9 bits -> 2 bytes
+        assert payload[1] & 1 == 1  # coil 0 initialised to on
+
+    def test_read_quantity_zero_rejected(self, server):
+        _fc, _payload, exc = parse_response(
+            _exec(server, build_read_request(0x03, 0, 0)))
+        assert exc == codec.EX_ILLEGAL_DATA_VALUE
+
+    def test_read_quantity_over_limit_rejected(self, server):
+        _fc, _payload, exc = parse_response(
+            _exec(server, build_read_request(0x03, 0, 126)))
+        assert exc == codec.EX_ILLEGAL_DATA_VALUE
+
+    def test_read_address_out_of_range_rejected(self, server):
+        _fc, _payload, exc = parse_response(
+            _exec(server, build_read_request(0x03, 0xFFF0, 5)))
+        assert exc == codec.EX_ILLEGAL_DATA_ADDRESS
+
+    def test_read_input_registers_smaller_table(self, server):
+        _fc, _payload, exc = parse_response(
+            _exec(server, build_read_request(0x04, 300, 1)))
+        assert exc == codec.EX_ILLEGAL_DATA_ADDRESS
+
+
+class TestWrites:
+    def test_write_single_register_echoes(self, server):
+        frame = build_write_single(0x06, 5, 0xBEEF)
+        fc, payload, exc = parse_response(_exec(server, frame))
+        assert exc is None
+        assert payload == (5).to_bytes(2, "big") + (0xBEEF).to_bytes(2, "big")
+
+    def test_write_single_coil_value_validation(self, server):
+        _fc, _payload, exc = parse_response(
+            _exec(server, build_write_single(0x05, 0, 0x1234)))
+        assert exc == codec.EX_ILLEGAL_DATA_VALUE
+
+    def test_write_multiple_registers_happy_path(self, server):
+        frame = build_write_multiple_registers(10, [1, 2, 3])
+        fc, payload, exc = parse_response(_exec(server, frame))
+        assert exc is None
+        assert payload == (10).to_bytes(2, "big") + (3).to_bytes(2, "big")
+
+    def test_write_multiple_coils_happy_path(self, server):
+        frame = build_write_multiple_coils(0, [True, False, True])
+        _fc, _payload, exc = parse_response(_exec(server, frame))
+        assert exc is None
+
+    def test_mask_write(self, server):
+        # register 0 is initialised to 0x1234 by the per-execution mapping
+        frame = build_mask_write(0, 0x00F0, 0x0005)
+        fc, payload, exc = parse_response(_exec(server, frame))
+        assert exc is None
+        assert payload == (b"\x00\x00" + (0x00F0).to_bytes(2, "big")
+                           + (0x0005).to_bytes(2, "big"))
+
+    def test_mask_write_address_out_of_range(self, server):
+        _fc, _payload, exc = parse_response(
+            _exec(server, build_mask_write(0x8000, 0, 0)))
+        assert exc == codec.EX_ILLEGAL_DATA_ADDRESS
+
+    def test_read_write_multiple_happy_path(self, server):
+        frame = build_read_write_multiple(0, 2, 8, [7, 8])
+        fc, payload, exc = parse_response(_exec(server, frame))
+        assert exc is None
+        assert payload[0] == 4
+
+
+class TestDiagnosticsAndMisc:
+    def test_echo_subfunction(self, server):
+        fc, payload, exc = parse_response(
+            _exec(server, build_diagnostics(0x0000, 0xA5A5)))
+        assert exc is None
+        assert payload[2:4] == b"\xa5\xa5"
+
+    def test_listen_only_gives_no_response(self, server):
+        assert _exec(server, build_diagnostics(0x0004)) is None
+
+    def test_clear_counters(self, server):
+        _exec(server, build_read_request(0x03, 0, 1))
+        parse_response(_exec(server, build_diagnostics(0x000A)))
+        fc, payload, exc = parse_response(
+            _exec(server, build_diagnostics(0x000B)))
+        assert int.from_bytes(payload[2:4], "big") <= 1
+
+    def test_unknown_function_code_rejected(self, server):
+        frame = build_mbap(1, 1, bytes((0x55, 0x00)))
+        _fc, _payload, exc = parse_response(_exec(server, frame))
+        assert exc == codec.EX_ILLEGAL_FUNCTION
+
+    def test_device_identification(self, server):
+        frame = build_mbap(1, 1, bytes((0x2B, 0x0E, 0x01, 0x00)))
+        fc, payload, exc = parse_response(_exec(server, frame))
+        assert exc is None
+        assert b"repro-modbus" in payload
+
+    def test_report_server_id(self, server):
+        frame = build_mbap(1, 1, bytes((0x11,)))
+        fc, payload, exc = parse_response(_exec(server, frame))
+        assert exc is None
+
+    def test_bad_protocol_id_dropped(self, server):
+        frame = bytearray(build_read_request(3, 0, 1))
+        frame[2] = 0x77
+        assert _exec(server, bytes(frame)) is None
+
+    def test_short_frame_dropped(self, server):
+        assert _exec(server, b"\x00\x01") is None
+
+    def test_mbap_length_mismatch_dropped(self, server):
+        frame = bytearray(build_read_request(3, 0, 1))
+        frame[5] += 1
+        assert _exec(server, bytes(frame)) is None
+
+
+class TestSeededBugs:
+    def test_uaf_on_inconsistent_write_multiple(self, server):
+        """Table I libmodbus row: heap-use-after-free.  Valid quantity,
+        valid address, but byte_count != 2*quantity."""
+        pdu = (bytes((0x10,)) + (0).to_bytes(2, "big")
+               + (2).to_bytes(2, "big") + bytes((6,)) + b"\x00" * 6)
+        frame = build_mbap(1, 1, pdu)
+        with pytest.raises(HeapUseAfterFree) as exc:
+            _exec(server, frame)
+        assert exc.value.site == "modbus.c:respond_exception_after_free"
+
+    def test_uaf_requires_valid_quantity(self, server):
+        """quantity out of range takes the checked exception path."""
+        pdu = (bytes((0x10,)) + (0).to_bytes(2, "big")
+               + (200).to_bytes(2, "big") + bytes((6,)) + b"\x00" * 6)
+        _fc, _payload, exc = parse_response(_exec(server, build_mbap(1, 1, pdu)))
+        assert exc == codec.EX_ILLEGAL_DATA_VALUE
+
+    def test_segv_on_fc23_wild_read_address(self, server):
+        """Table I libmodbus row: SEGV via unchecked FC 0x17 read."""
+        frame = build_read_write_multiple(0x9000, 2, 0, [1])
+        with pytest.raises(SimSegv) as exc:
+            _exec(server, frame)
+        assert exc.value.site == "modbus.c:fc23_read_registers"
+
+    def test_fc23_safe_when_read_address_in_range(self, server):
+        frame = build_read_write_multiple(0, 2, 0, [1])
+        assert _exec(server, frame) is not None
+
+    def test_exactly_two_seeded_fault_sites_under_fuzzing(self, server, rng):
+        pit = make_pit()
+        sites = set()
+        for _ in range(1500):
+            model = choose_model(pit, rng)
+            _tree, wire = generate_packet(model, rng)
+            try:
+                _exec(server, wire)
+            except MemoryFault as fault:
+                sites.add((fault.kind, fault.site))
+        allowed = {
+            ("heap-use-after-free", "modbus.c:respond_exception_after_free"),
+            ("SEGV", "modbus.c:fc23_read_registers"),
+        }
+        assert sites <= allowed
+
+
+class TestPit:
+    def test_sixteen_models(self):
+        assert len(make_pit()) == 16
+
+    def test_every_default_packet_is_valid_and_handled(self, server):
+        for model in make_pit():
+            raw = model.build_bytes()
+            assert model.matches(raw)
+            _exec(server, raw)  # must not raise
+
+    def test_shared_semantics_across_models(self):
+        pit = make_pit()
+        read_model = pit.model("modbus.read_coils")
+        write_model = pit.model("modbus.read_write_multiple")
+        read_addr = read_model.root.child("body").child("address")
+        rw_addr = write_model.root.child("body").child("read_address")
+        assert read_addr.signature() == rw_addr.signature()
+
+    def test_mbap_length_relation_consistent(self):
+        pit = make_pit()
+        for model in pit:
+            tree = model.build_default()
+            assert tree.find("length").value == len(tree.find("body").raw)

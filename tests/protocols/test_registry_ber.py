@@ -1,0 +1,102 @@
+"""Tests for the target registry and the shared BER codec."""
+
+import pytest
+
+from repro.protocols import TARGET_NAMES, all_targets, get_target
+from repro.protocols.common.ber import (
+    BerError, collect_children, decode_integer, decode_length, decode_tlv,
+    encode_integer, encode_length, encode_tlv, encode_visible_string,
+    iter_tlvs,
+)
+
+
+class TestRegistry:
+    def test_six_targets_registered(self):
+        assert len(all_targets()) == 6
+        assert set(TARGET_NAMES) == {
+            "libmodbus", "iec104", "libiec61850", "lib60870", "libiccp",
+            "opendnp3",
+        }
+
+    def test_nine_seeded_bugs_total(self):
+        """Table I: 9 previously-unknown vulnerabilities across 3 projects."""
+        total = sum(spec.seeded_bug_count for spec in all_targets())
+        assert total == 9
+
+    def test_bug_distribution_matches_table1(self):
+        assert get_target("lib60870").seeded_bug_count == 3
+        assert get_target("libmodbus").seeded_bug_count == 2
+        assert get_target("libiccp").seeded_bug_count == 4
+        assert get_target("iec104").seeded_bug_count == 0
+        assert get_target("opendnp3").seeded_bug_count == 0
+        assert get_target("libiec61850").seeded_bug_count == 0
+
+    def test_unknown_target_raises_with_choices(self):
+        with pytest.raises(KeyError, match="choices"):
+            get_target("s7comm")
+
+    def test_every_target_builds_server_and_pit(self):
+        for spec in all_targets():
+            server = spec.make_server()
+            pit = spec.make_pit()
+            assert hasattr(server, "handle_packet")
+            assert len(pit) >= 6
+
+    def test_cost_models_ordered_by_code_scale(self):
+        """Bigger stacks must be slower (drives Fig. 4 panel shapes)."""
+        cost = {spec.name: spec.cost_model.exec_cost_ms
+                for spec in all_targets()}
+        assert cost["iec104"] < cost["libmodbus"] < cost["libiec61850"]
+
+
+class TestBer:
+    def test_short_length(self):
+        assert encode_length(5) == b"\x05"
+        assert decode_length(b"\x05", 0) == (5, 1)
+
+    def test_long_form_lengths(self):
+        assert encode_length(0x80) == b"\x81\x80"
+        assert encode_length(0x1234) == b"\x82\x12\x34"
+        assert decode_length(b"\x82\x12\x34", 0) == (0x1234, 3)
+
+    def test_length_too_large(self):
+        with pytest.raises(BerError):
+            encode_length(0x1_0000)
+
+    def test_tlv_roundtrip(self):
+        blob = encode_tlv(0xA4, b"hello")
+        tag, value, pos = decode_tlv(blob)
+        assert (tag, value, pos) == (0xA4, b"hello", len(blob))
+
+    def test_truncated_tlv(self):
+        with pytest.raises(BerError):
+            decode_tlv(b"\xA4\x05hi")
+
+    def test_iter_tlvs(self):
+        data = encode_tlv(1, b"a") + encode_tlv(2, b"bc")
+        assert list(iter_tlvs(data)) == [(1, b"a"), (2, b"bc")]
+
+    def test_integer_roundtrip(self):
+        for value in (0, 1, 127, 128, 255, 300, -1, -128, 65535):
+            tag, body, _pos = decode_tlv(encode_integer(value))
+            assert decode_integer(body) == value, value
+
+    def test_integer_minimal_encoding(self):
+        assert encode_integer(1) == b"\x02\x01\x01"
+        assert encode_integer(128) == b"\x02\x02\x00\x80"
+
+    def test_empty_integer_rejected(self):
+        with pytest.raises(BerError):
+            decode_integer(b"")
+
+    def test_visible_string(self):
+        tag, value, _pos = decode_tlv(encode_visible_string("IED1"))
+        assert tag == 0x1A and value == b"IED1"
+
+    def test_collect_children(self):
+        data = encode_tlv(1, b"x") + encode_tlv(2, b"y")
+        assert collect_children(data) == [(1, b"x"), (2, b"y")]
+
+    def test_unsupported_length_of_length(self):
+        with pytest.raises(BerError):
+            decode_length(b"\x83\x01\x00\x00", 0)

@@ -1,0 +1,82 @@
+"""Property-based robustness tests: servers never fail unexpectedly.
+
+For arbitrary byte strings (not just model-generated packets), every
+server must either answer, stay silent, or raise a *typed* memory fault
+at one of its seeded sites — never an unhandled Python exception, and
+never a fault on the bug-free targets.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols import all_targets, get_target
+from repro.sanitizer import MemoryFault, SimHeap
+
+_SERVERS = {spec.name: spec.make_server() for spec in all_targets()}
+
+
+def _feed(name: str, data: bytes):
+    server = _SERVERS[name]
+    server.reset()
+    try:
+        server.handle_packet(SimHeap(), data)
+        return None
+    except MemoryFault as fault:
+        return fault
+
+
+@given(st.binary(max_size=80))
+@settings(max_examples=200, deadline=None)
+def test_iec104_never_faults_on_arbitrary_bytes(data):
+    assert _feed("iec104", data) is None
+
+
+@given(st.binary(max_size=120))
+@settings(max_examples=200, deadline=None)
+def test_opendnp3_never_faults_on_arbitrary_bytes(data):
+    assert _feed("opendnp3", data) is None
+
+
+@given(st.binary(max_size=120))
+@settings(max_examples=200, deadline=None)
+def test_libiec61850_never_faults_on_arbitrary_bytes(data):
+    assert _feed("libiec61850", data) is None
+
+
+@given(st.binary(max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_libmodbus_faults_only_at_seeded_sites(data):
+    fault = _feed("libmodbus", data)
+    if fault is not None:
+        sites = {site for _k, site in get_target("libmodbus")
+                 .seeded_bug_sites}
+        assert fault.site in sites
+
+
+@given(st.binary(max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_lib60870_faults_only_at_seeded_sites(data):
+    fault = _feed("lib60870", data)
+    if fault is not None:
+        sites = {site for _k, site in get_target("lib60870")
+                 .seeded_bug_sites}
+        assert fault.site in sites
+
+
+@given(st.binary(max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_libiccp_faults_only_at_seeded_sites(data):
+    fault = _feed("libiccp", data)
+    if fault is not None:
+        sites = {site for _k, site in get_target("libiccp")
+                 .seeded_bug_sites}
+        assert fault.site in sites
+
+
+@given(st.sampled_from([spec.name for spec in all_targets()]),
+       st.binary(max_size=6))
+@settings(max_examples=150, deadline=None)
+def test_short_frames_always_silently_dropped(name, data):
+    """No target should do anything with sub-minimum frames."""
+    server = _SERVERS[name]
+    server.reset()
+    assert server.handle_packet(SimHeap(), data) is None

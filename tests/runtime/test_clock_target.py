@@ -1,0 +1,83 @@
+"""Unit tests for the simulated clock and the target harness."""
+
+from repro.protocols.iccp import IccpServer, build_read, build_write
+from repro.protocols.modbus import ModbusServer, build_read_request
+from repro.runtime import Target, TracingCollector
+from repro.runtime.clock import CostModel, SimulatedClock
+
+
+class TestSimulatedClock:
+    def test_execution_charges_base_cost(self):
+        clock = SimulatedClock(CostModel(exec_cost_ms=1000,
+                                         coverage_overhead_ms=100))
+        clock.charge_execution(instrumented=False)
+        assert clock.now_ms == 1000
+
+    def test_instrumented_execution_pays_overhead(self):
+        clock = SimulatedClock(CostModel(exec_cost_ms=1000,
+                                         coverage_overhead_ms=100))
+        clock.charge_execution(instrumented=True)
+        assert clock.now_ms == 1100
+
+    def test_crack_and_semantic_costs(self):
+        clock = SimulatedClock(CostModel(crack_cost_ms=10,
+                                         semantic_gen_cost_ms=2,
+                                         fixup_cost_ms=1))
+        clock.charge_crack()
+        clock.charge_semantic_generation(seeds=5)
+        clock.charge_fixup()
+        assert clock.now_ms == 10 + 10 + 1
+
+    def test_hours_property(self):
+        clock = SimulatedClock(CostModel(exec_cost_ms=3_600_000))
+        clock.charge_execution(instrumented=False)
+        assert clock.hours == 1.0
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.charge_execution(instrumented=False)
+        clock.reset()
+        assert clock.now_ms == 0.0
+
+
+class TestTargetHarness:
+    def test_normal_execution_returns_response(self):
+        target = Target(ModbusServer,
+                        TracingCollector(("repro/protocols",)))
+        result = target.run(build_read_request(3, 0, 2))
+        assert result.response is not None
+        assert not result.crashed
+        assert not result.hang
+        assert result.coverage is not None
+
+    def test_crash_is_captured_not_raised(self):
+        target = Target(IccpServer, TracingCollector(("repro/protocols",)))
+        result = target.run(build_read(1, ""))  # ts_name_tail SEGV
+        assert result.crashed
+        assert result.crash.kind == "SEGV"
+        assert result.crash.site == "tase2_ts.c:ts_name_tail"
+        assert result.coverage is not None  # coverage kept for triage
+
+    def test_uninstrumented_run_has_no_coverage(self):
+        target = Target(ModbusServer, collector=None)
+        result = target.run(build_read_request(3, 0, 2))
+        assert result.coverage is None
+        assert result.response is not None
+
+    def test_fresh_heap_per_execution_makes_crashes_deterministic(self):
+        target = Target(IccpServer, TracingCollector(("repro/protocols",)))
+        crash_packet = build_write(1, "DV_B", b"A" * 90)
+        for _ in range(3):
+            result = target.run(crash_packet)
+            assert result.crash.site == "iccp_dv.c:dv_write_copy"
+
+    def test_execution_counter(self):
+        target = Target(ModbusServer, collector=None)
+        for _ in range(5):
+            target.run(b"")
+        assert target.executions == 5
+
+    def test_model_name_attached_to_crash_report(self):
+        target = Target(IccpServer, TracingCollector(("repro/protocols",)))
+        result = target.run(build_read(1, ""), model_name="iccp.read")
+        assert result.crash.model_name == "iccp.read"

@@ -1,0 +1,125 @@
+"""Unit tests for the AFL-style coverage map and global virgin map."""
+
+from repro.runtime.coverage import (
+    MAP_SIZE, CoverageMap, GlobalCoverage, bucket_count,
+)
+
+
+class TestBucketing:
+    def test_zero_maps_to_zero(self):
+        assert bucket_count(0) == 0
+
+    def test_afl_bucket_boundaries(self):
+        expected = {1: 1, 2: 2, 3: 4, 4: 8, 5: 8, 7: 8, 8: 16, 15: 16,
+                    16: 32, 31: 32, 32: 64, 127: 64, 128: 128, 255: 128}
+        for count, bit in expected.items():
+            assert bucket_count(count) == bit, count
+
+    def test_buckets_are_single_bits(self):
+        for count in range(1, 256):
+            bit = bucket_count(count)
+            assert bit and (bit & (bit - 1)) == 0  # power of two
+
+
+class TestCoverageMap:
+    def test_visit_implements_paper_snippet(self):
+        cov = CoverageMap()
+        cov.visit(0x1234)
+        # first transition: prev=0, so index = cur ^ 0
+        assert cov.counts[0x1234 & (MAP_SIZE - 1)] == 1
+        cov.visit(0x1234)
+        # second: prev = cur >> 1
+        index = (0x1234 ^ (0x1234 >> 1)) & (MAP_SIZE - 1)
+        assert cov.counts[index] == 1
+
+    def test_edge_direction_matters(self):
+        a, b = 0x100, 0x200
+        forward = CoverageMap()
+        forward.visit(a)
+        forward.visit(b)
+        backward = CoverageMap()
+        backward.visit(b)
+        backward.visit(a)
+        assert sorted(i for i, _c in forward.iter_hits()) != \
+            sorted(i for i, _c in backward.iter_hits())
+
+    def test_counts_saturate_at_255(self):
+        cov = CoverageMap()
+        for _ in range(300):
+            cov._prev = 0
+            cov.visit(7)
+        assert cov.counts[7] == 255
+
+    def test_reset_clears_everything(self):
+        cov = CoverageMap()
+        cov.visit(1)
+        cov.visit(2)
+        cov.fast_reset()
+        assert cov.edge_count() == 0
+        assert cov._prev == 0
+
+    def test_path_hash_distinguishes_paths(self):
+        one = CoverageMap()
+        one.visit(1)
+        one.visit(2)
+        two = CoverageMap()
+        two.visit(1)
+        two.visit(3)
+        assert one.path_hash() != two.path_hash()
+
+    def test_path_hash_stable_for_same_path(self):
+        def run():
+            cov = CoverageMap()
+            for block in (5, 9, 5, 11):
+                cov.visit(block)
+            return cov.path_hash()
+
+        assert run() == run()
+
+
+class TestGlobalCoverage:
+    def _map_with(self, *blocks):
+        cov = CoverageMap()
+        for block in blocks:
+            cov.visit(block)
+        return cov
+
+    def test_first_map_is_always_new(self):
+        glob = GlobalCoverage()
+        assert glob.merge(self._map_with(1, 2, 3))
+
+    def test_identical_map_not_new(self):
+        glob = GlobalCoverage()
+        glob.merge(self._map_with(1, 2, 3))
+        assert not glob.merge(self._map_with(1, 2, 3))
+
+    def test_new_edge_detected(self):
+        glob = GlobalCoverage()
+        glob.merge(self._map_with(1, 2))
+        assert glob.merge(self._map_with(1, 9))
+
+    def test_new_hit_bucket_on_known_edge_detected(self):
+        glob = GlobalCoverage()
+        once = CoverageMap()
+        once.visit(5)
+        glob.merge(once)
+        thrice = CoverageMap()
+        for _ in range(3):
+            thrice._prev = 0
+            thrice.visit(5)
+        assert glob.merge(thrice)  # count bucket 4 is new
+
+    def test_would_be_new_does_not_mutate(self):
+        glob = GlobalCoverage()
+        probe = self._map_with(1)
+        assert glob.would_be_new(probe)
+        assert glob.would_be_new(probe)  # still new: nothing merged
+        glob.merge(probe)
+        assert not glob.would_be_new(probe)
+
+    def test_edge_count_accumulates_distinct_edges(self):
+        glob = GlobalCoverage()
+        glob.merge(self._map_with(1, 2))
+        first = glob.edge_coverage()
+        glob.merge(self._map_with(50, 60))
+        assert glob.edge_coverage() > first

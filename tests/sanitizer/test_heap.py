@@ -1,0 +1,157 @@
+"""Unit tests for the simulated heap (the ASan analog)."""
+
+import pytest
+
+from repro.sanitizer import (
+    DoubleFree, HeapBufferOverflow, HeapUseAfterFree, NullDeref, SimHeap,
+    SimSegv,
+)
+
+
+class TestBasicAllocation:
+    def test_malloc_read_write_roundtrip(self):
+        heap = SimHeap()
+        ptr = heap.malloc(8, "buf")
+        heap.write(ptr, 0, b"\x01\x02\x03")
+        assert heap.read(ptr, 0, 3) == b"\x01\x02\x03"
+        assert heap.read(ptr, 3, 5) == b"\x00" * 5
+
+    def test_malloc_from_initializes(self):
+        heap = SimHeap()
+        ptr = heap.malloc_from(b"hello")
+        assert heap.read(ptr, 0, 5) == b"hello"
+        assert heap.size_of(ptr) == 5
+
+    def test_typed_reads(self):
+        heap = SimHeap()
+        ptr = heap.malloc_from(b"\x01\x02\x03\x04")
+        assert heap.read_u8(ptr, 0) == 1
+        assert heap.read_u16(ptr, 0) == 0x0102
+        assert heap.read_u16(ptr, 0, endian="little") == 0x0201
+        assert heap.read_u32(ptr, 0) == 0x01020304
+
+    def test_typed_writes(self):
+        heap = SimHeap()
+        ptr = heap.malloc(4)
+        heap.write_u16(ptr, 0, 0xBEEF)
+        heap.write_u8(ptr, 2, 0x7F)
+        assert heap.read(ptr, 0, 3) == b"\xbe\xef\x7f"
+
+    def test_pointer_offset_arithmetic(self):
+        heap = SimHeap()
+        ptr = heap.malloc_from(b"abcdef")
+        shifted = ptr.offset(2)
+        assert heap.read(shifted, 0, 2) == b"cd"
+        assert shifted.address == ptr.address + 2
+
+    def test_allocations_do_not_overlap(self):
+        heap = SimHeap()
+        a = heap.malloc(16)
+        b = heap.malloc(16)
+        assert b.address >= a.address + 16
+
+    def test_live_allocation_count(self):
+        heap = SimHeap()
+        a = heap.malloc(4)
+        heap.malloc(4)
+        assert heap.live_allocations() == 2
+        heap.free(a)
+        assert heap.live_allocations() == 1
+
+
+class TestFaults:
+    def test_read_past_end_is_heap_buffer_overflow(self):
+        heap = SimHeap()
+        ptr = heap.malloc(4, "small")
+        with pytest.raises(HeapBufferOverflow) as exc:
+            heap.read(ptr, 2, 4, "site-x")
+        assert exc.value.site == "site-x"
+        assert exc.value.kind == "heap-buffer-overflow"
+
+    def test_write_past_end_is_heap_buffer_overflow(self):
+        heap = SimHeap()
+        ptr = heap.malloc(4)
+        with pytest.raises(HeapBufferOverflow):
+            heap.write(ptr, 0, b"\x00" * 8, "site-w")
+
+    def test_far_out_of_bounds_is_segv(self):
+        heap = SimHeap()
+        ptr = heap.malloc(4)
+        with pytest.raises(SimSegv):
+            heap.read(ptr, 5000, 1, "site-far")
+
+    def test_use_after_free_read(self):
+        heap = SimHeap()
+        ptr = heap.malloc(4, "victim")
+        heap.free(ptr)
+        with pytest.raises(HeapUseAfterFree) as exc:
+            heap.read(ptr, 0, 1, "uaf-site")
+        assert "victim" in exc.value.detail
+
+    def test_use_after_free_write(self):
+        heap = SimHeap()
+        ptr = heap.malloc(4)
+        heap.free(ptr)
+        with pytest.raises(HeapUseAfterFree):
+            heap.write(ptr, 0, b"x", "uaf-w")
+
+    def test_double_free(self):
+        heap = SimHeap()
+        ptr = heap.malloc(4)
+        heap.free(ptr)
+        with pytest.raises(DoubleFree):
+            heap.free(ptr)
+
+    def test_null_deref(self):
+        heap = SimHeap()
+        with pytest.raises(NullDeref):
+            heap.read(None, 0, 1, "null-site")
+
+    def test_negative_malloc_is_segv(self):
+        heap = SimHeap()
+        with pytest.raises(SimSegv):
+            heap.malloc(-1)
+
+    def test_null_deref_is_a_segv_subclass(self):
+        assert issubclass(NullDeref, SimSegv)
+        assert NullDeref("s").kind == "SEGV"
+
+
+class TestDerefRead:
+    def test_deref_inside_live_allocation(self):
+        heap = SimHeap()
+        ptr = heap.malloc_from(b"\xAA\xBB\xCC")
+        assert heap.deref_read(ptr.address + 1, 1, "s") == b"\xBB"
+
+    def test_deref_wild_address_is_segv(self):
+        heap = SimHeap()
+        heap.malloc(4)
+        with pytest.raises(SimSegv) as exc:
+            heap.deref_read(0xDEAD0000, 1, "wild")
+        assert "unknown address" in exc.value.detail
+
+    def test_deref_just_past_allocation_is_segv(self):
+        """The CS101_ASDU_getCOT shape: asdu[2] on a 2-byte buffer."""
+        heap = SimHeap()
+        ptr = heap.malloc_from(b"\x01\x02")
+        with pytest.raises(SimSegv):
+            heap.deref_read(ptr.address + 2, 1, "getCOT")
+
+    def test_deref_one_before_allocation_is_segv(self):
+        """The ts_name_tail shape: name[len-1] with len == 0."""
+        heap = SimHeap()
+        ptr = heap.malloc(0, "empty-name")
+        with pytest.raises(SimSegv):
+            heap.deref_read(ptr.address - 1, 1, "tail")
+
+    def test_deref_freed_allocation_is_uaf(self):
+        heap = SimHeap()
+        ptr = heap.malloc_from(b"xy")
+        heap.free(ptr)
+        with pytest.raises(HeapUseAfterFree):
+            heap.deref_read(ptr.address, 1, "s")
+
+    def test_deref_null_is_segv(self):
+        heap = SimHeap()
+        with pytest.raises(SimSegv):
+            heap.deref_read(0, 1, "null")

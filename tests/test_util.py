@@ -1,0 +1,58 @@
+"""Unit tests for the shared utility helpers."""
+
+from repro.util import clamp, fnv1a32, hexdump
+
+
+class TestFnv1a32:
+    def test_known_vectors(self):
+        # standard FNV-1a 32-bit test vectors
+        assert fnv1a32(b"") == 0x811C9DC5
+        assert fnv1a32(b"a") == 0xE40C292C
+        assert fnv1a32(b"foobar") == 0xBF9CF968
+
+    def test_str_and_bytes_agree(self):
+        assert fnv1a32("hello") == fnv1a32(b"hello")
+
+    def test_stable_across_calls(self):
+        assert fnv1a32("block:modbus.c:42") == fnv1a32("block:modbus.c:42")
+
+    def test_always_32_bit(self):
+        for text in ("", "x", "a" * 1000):
+            assert 0 <= fnv1a32(text) <= 0xFFFFFFFF
+
+    def test_distinct_for_similar_labels(self):
+        assert fnv1a32("modbus.c:41") != fnv1a32("modbus.c:42")
+
+
+class TestHexdump:
+    def test_offsets_and_ascii_column(self):
+        text = hexdump(bytes(range(32)))
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("00000000")
+        assert lines[1].startswith("00000010")
+
+    def test_printable_ascii_shown(self):
+        text = hexdump(b"AB\x00CD")
+        assert "|AB.CD|" in text
+
+    def test_empty_input(self):
+        assert hexdump(b"") == ""
+
+    def test_custom_width(self):
+        text = hexdump(bytes(8), width=4)
+        assert len(text.splitlines()) == 2
+
+
+class TestClamp:
+    def test_inside_range(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_below(self):
+        assert clamp(-1, 0, 10) == 0
+
+    def test_above(self):
+        assert clamp(11, 0, 10) == 10
+
+    def test_degenerate_range(self):
+        assert clamp(5, 3, 3) == 3
