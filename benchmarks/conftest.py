@@ -9,10 +9,24 @@ environment variables so CI and full runs share code):
   executions per campaign).
 * ``REPRO_BENCH_REPS``   — repetitions per engine/target (default 2;
   the paper uses 10).
+* ``REPRO_BENCH_JOBS``   — worker processes for campaign fan-out
+  (default ``1`` = serial; ``0`` defers to
+  :func:`repro.core.campaign.default_worker_count`, i.e. ``REPRO_JOBS``
+  or cores-1).
+
+Smoke run for quick iteration / CI presubmit::
+
+    REPRO_BENCH_HOURS=2 REPRO_BENCH_REPS=1 \
+        PYTHONPATH=src python -m pytest benchmarks -q
+
+Benchmarks that produce machine-readable artifacts write them as
+``BENCH_<name>.json`` next to this file's parent (repo root) via
+:func:`write_artifact`; ``REPRO_BENCH_ARTIFACT_DIR`` redirects them.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -21,10 +35,37 @@ from repro.core import CampaignConfig
 
 BENCH_HOURS = float(os.environ.get("REPRO_BENCH_HOURS", "24"))
 BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "2"))
+_jobs_env = os.environ.get("REPRO_BENCH_JOBS", "1")
+#: None = let run_campaign_batch pick a worker per core
+BENCH_JOBS = None if _jobs_env == "0" else int(_jobs_env)
+
+
+#: the paper-claim assertions (Peach* ahead of Peach, 7/9 bugs found)
+#: only hold once campaigns run a near-full 24h budget; smoke runs
+#: (REPRO_BENCH_HOURS=2) still exercise the whole pipeline and the
+#: shape checks, but skip the claim gates.
+CLAIMS_ENABLED = BENCH_HOURS >= 12
 
 
 def bench_config() -> CampaignConfig:
     return CampaignConfig(budget_hours=BENCH_HOURS, record_every=20)
+
+
+def artifact_path(name: str) -> str:
+    """Absolute path for a ``BENCH_<name>.json`` artifact."""
+    root = os.environ.get(
+        "REPRO_BENCH_ARTIFACT_DIR",
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    return os.path.join(root, f"BENCH_{name}.json")
+
+
+def write_artifact(name: str, payload: dict) -> str:
+    """Write a JSON benchmark artifact; returns the path written."""
+    path = artifact_path(name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 @pytest.fixture

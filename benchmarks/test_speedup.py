@@ -8,8 +8,8 @@ ratio — the paper's "achieves the same code coverage at the speed of
 
 from __future__ import annotations
 
-from benchmarks.conftest import BENCH_HOURS, BENCH_REPS, bench_config, \
-    print_block
+from benchmarks.conftest import BENCH_HOURS, BENCH_JOBS, BENCH_REPS, \
+    bench_config, print_block
 from repro.analysis.speedup import run_headline
 from repro.protocols import all_targets
 
@@ -20,7 +20,8 @@ def _headline():
     if "report" not in _CACHE:
         _CACHE["report"] = run_headline(
             list(all_targets()), repetitions=BENCH_REPS,
-            budget_hours=BENCH_HOURS, base_seed=500, config=bench_config())
+            budget_hours=BENCH_HOURS, base_seed=500, config=bench_config(),
+            jobs=BENCH_JOBS)
     return _CACHE["report"]
 
 

@@ -1,0 +1,133 @@
+"""Real wall-clock throughput: execs/sec per engine/target, plus the
+sparse-vs-dense coverage pipeline speedup.
+
+Unlike the other benchmarks (which report the paper's *simulated-clock*
+artifacts), this one measures the harness itself: how many target
+executions per wall-clock second each engine sustains, and how much
+faster the journaled sparse coverage pipeline is than the dense
+O(MAP_SIZE) reference it replaced.  Results land in
+``BENCH_throughput.json`` so future PRs have a perf trajectory.
+
+The speedup assertion is the PR's acceptance gate: the headline campaign
+(Peach* with full coverage measurement) must run at least 3x faster with
+the sparse pipeline than with the seed's dense implementation.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from benchmarks.conftest import (
+    BENCH_HOURS, CLAIMS_ENABLED, bench_config, print_block, write_artifact,
+)
+from repro.core.campaign import make_engine, run_campaign
+from repro.protocols import TARGET_NAMES, get_target
+from repro.runtime._dense_ref import DenseCoverageMap, DenseGlobalCoverage
+from repro.runtime.instrument import resolve_backend
+
+#: targets timed for the per-target execs/sec table (all six)
+THROUGHPUT_TARGETS = TARGET_NAMES
+#: the headline campaign used for the sparse-vs-dense gate
+HEADLINE_TARGET = "libmodbus"
+HEADLINE_SEED = 500
+
+_CACHE = {}
+
+
+def _timed_campaign(engine_name, target_name, seed, dense=False):
+    """Run one campaign for real; return (execs_per_sec, result, secs)."""
+    spec = get_target(target_name)
+    config = bench_config()
+    engine = None
+    if dense:
+        engine = make_engine(engine_name, spec, seed, config)
+        engine.target.collector.map = DenseCoverageMap()
+        engine.seed_pool.coverage = DenseGlobalCoverage()
+    start = time.perf_counter()
+    result = run_campaign(engine_name, spec, seed=seed, config=config,
+                          engine=engine)
+    elapsed = time.perf_counter() - start
+    return result.executions / max(elapsed, 1e-9), result, elapsed
+
+
+def _throughput():
+    if "payload" in _CACHE:
+        return _CACHE["payload"]
+    targets = {}
+    headline = None
+    for target_name in THROUGHPUT_TARGETS:
+        rows = {}
+        for engine_name in ("peach", "peach-star"):
+            rate, result, elapsed = _timed_campaign(
+                engine_name, target_name, HEADLINE_SEED)
+            rows[engine_name] = {
+                "execs_per_sec": round(rate, 1),
+                "executions": result.executions,
+                "wall_seconds": round(elapsed, 3),
+                "final_paths": result.final_paths,
+            }
+            if (target_name, engine_name) == (HEADLINE_TARGET, "peach-star"):
+                headline = (rate, result, elapsed)
+        targets[target_name] = rows
+
+    # the sparse side of the gate is the headline campaign already
+    # timed in the loop above (same engine/target/seed, deterministic)
+    sparse_rate, sparse_result, sparse_secs = headline
+    dense_rate, dense_result, dense_secs = _timed_campaign(
+        "peach-star", HEADLINE_TARGET, HEADLINE_SEED, dense=True)
+    assert sparse_result.executions == dense_result.executions, \
+        "sparse and dense campaigns diverged; equivalence is broken"
+    payload = {
+        "backend": resolve_backend("auto"),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "bench_hours": BENCH_HOURS,
+        "targets": targets,
+        "sparse_vs_dense": {
+            "target": HEADLINE_TARGET,
+            "engine": "peach-star",
+            "executions": sparse_result.executions,
+            "sparse_execs_per_sec": round(sparse_rate, 1),
+            "dense_execs_per_sec": round(dense_rate, 1),
+            "sparse_wall_seconds": round(sparse_secs, 3),
+            "dense_wall_seconds": round(dense_secs, 3),
+            "speedup": round(sparse_rate / max(dense_rate, 1e-9), 2),
+        },
+    }
+    _CACHE["payload"] = payload
+    return payload
+
+
+def test_throughput_artifact(benchmark):
+    payload = benchmark.pedantic(_throughput, rounds=1, iterations=1)
+    # the committed trajectory artifact holds full-budget numbers only;
+    # compressed smoke runs (REPRO_BENCH_HOURS=2) write alongside it so
+    # they never clobber the 24h headline payload
+    name = "throughput" if CLAIMS_ENABLED else "throughput_smoke"
+    path = write_artifact(name, payload)
+    rows = [f"{'target':<13} {'engine':<11} {'execs/sec':>10} "
+            f"{'execs':>6} {'wall s':>8}"]
+    for target_name, engines in payload["targets"].items():
+        for engine_name, row in engines.items():
+            rows.append(f"{target_name:<13} {engine_name:<11} "
+                        f"{row['execs_per_sec']:>10.1f} "
+                        f"{row['executions']:>6} "
+                        f"{row['wall_seconds']:>8.3f}")
+    gate = payload["sparse_vs_dense"]
+    rows.append(f"\nsparse vs dense ({gate['engine']} on {gate['target']}): "
+                f"{gate['sparse_execs_per_sec']:.1f} vs "
+                f"{gate['dense_execs_per_sec']:.1f} execs/sec "
+                f"= {gate['speedup']:.2f}x  (backend: {payload['backend']})")
+    rows.append(f"artifact: {path}")
+    print_block("Wall-clock throughput (execs/sec)", "\n".join(rows))
+    for engines in payload["targets"].values():
+        for row in engines.values():
+            assert row["execs_per_sec"] > 0
+
+
+def test_sparse_pipeline_at_least_3x_dense(benchmark):
+    payload = benchmark.pedantic(_throughput, rounds=1, iterations=1)
+    speedup = payload["sparse_vs_dense"]["speedup"]
+    assert speedup >= 3.0, (
+        f"sparse coverage pipeline is only {speedup:.2f}x the dense "
+        "reference; the perf acceptance gate requires >= 3x")

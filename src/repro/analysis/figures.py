@@ -8,11 +8,12 @@ harness can print the same series the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.campaign import (
-    CampaignConfig, CampaignResult, average_series, run_repetitions,
+    CampaignConfig, CampaignResult, CampaignTask, average_series,
+    run_campaign_batch,
 )
 
 DEFAULT_CHECKPOINTS = (1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 24.0)
@@ -49,21 +50,27 @@ class Fig4Panel:
 def run_fig4_panel(target_spec, *, repetitions: int = 3,
                    budget_hours: float = 24.0, base_seed: int = 100,
                    config: Optional[CampaignConfig] = None,
-                   checkpoints: Sequence[float] = DEFAULT_CHECKPOINTS
-                   ) -> Fig4Panel:
-    """Run one Fig. 4 panel: N reps of each engine on one target."""
+                   checkpoints: Sequence[float] = DEFAULT_CHECKPOINTS,
+                   jobs: Optional[int] = 1) -> Fig4Panel:
+    """Run one Fig. 4 panel: N reps of each engine on one target.
+
+    Both engines' repetitions are scheduled as one batch; ``jobs`` > 1
+    runs them on that many worker processes with identical results.
+    """
     if config is None:
         config = CampaignConfig(budget_hours=budget_hours)
     else:
-        config.budget_hours = budget_hours
+        config = replace(config, budget_hours=budget_hours)
     checkpoints = tuple(h for h in checkpoints if h <= budget_hours)
     if not checkpoints or checkpoints[-1] < budget_hours:
         checkpoints = checkpoints + (budget_hours,)
-    peach = run_repetitions("peach", target_spec, repetitions=repetitions,
-                            base_seed=base_seed, config=config)
-    star = run_repetitions("peach-star", target_spec,
-                           repetitions=repetitions, base_seed=base_seed,
-                           config=config)
+    tasks = [CampaignTask(engine, target_spec.name,
+                          base_seed + 1000 * rep, config)
+             for engine in ("peach", "peach-star")
+             for rep in range(repetitions)]
+    results = run_campaign_batch(tasks, max_workers=jobs)
+    peach = results[:repetitions]
+    star = results[repetitions:]
     return Fig4Panel(
         target_name=target_spec.name,
         checkpoints=checkpoints,

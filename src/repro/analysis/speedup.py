@@ -7,10 +7,12 @@ final path increase — the two headline numbers of the paper's abstract.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
-from repro.core.campaign import CampaignConfig, run_repetitions
+from repro.core.campaign import (
+    CampaignConfig, CampaignTask, run_campaign_batch,
+)
 from repro.core.stats import ComparisonSummary, compare
 from repro.protocols import TargetSpec, all_targets
 
@@ -56,17 +58,30 @@ class HeadlineReport:
 def run_headline(targets: Optional[List[TargetSpec]] = None, *,
                  repetitions: int = 3, budget_hours: float = 24.0,
                  base_seed: int = 50,
-                 config: Optional[CampaignConfig] = None) -> HeadlineReport:
-    """Run the full §V-B comparison across the selected targets."""
+                 config: Optional[CampaignConfig] = None,
+                 jobs: Optional[int] = 1) -> HeadlineReport:
+    """Run the full §V-B comparison across the selected targets.
+
+    The whole sweep (targets × engines × repetitions) is scheduled as one
+    batch, so ``jobs`` > 1 fans every campaign out across processes;
+    ``jobs=None`` uses :func:`~repro.core.campaign.default_worker_count`.
+    Results are identical to the serial sweep — only wall-clock changes.
+    """
     if targets is None:
         targets = list(all_targets())
-    summaries = []
+    cfg = replace(config if config is not None else CampaignConfig(),
+                  budget_hours=budget_hours)
+    tasks = []
     for spec in targets:
-        cfg = config if config is not None else CampaignConfig()
-        cfg.budget_hours = budget_hours
-        peach = run_repetitions("peach", spec, repetitions=repetitions,
-                                base_seed=base_seed, config=cfg)
-        star = run_repetitions("peach-star", spec, repetitions=repetitions,
-                               base_seed=base_seed, config=cfg)
+        for engine in ("peach", "peach-star"):
+            tasks.extend(
+                CampaignTask(engine, spec.name, base_seed + 1000 * rep, cfg)
+                for rep in range(repetitions))
+    results = run_campaign_batch(tasks, max_workers=jobs)
+    summaries = []
+    for index, _spec in enumerate(targets):
+        start = index * 2 * repetitions
+        peach = results[start:start + repetitions]
+        star = results[start + repetitions:start + 2 * repetitions]
         summaries.append(compare(peach, star, budget_hours))
     return HeadlineReport(summaries=summaries)

@@ -8,10 +8,10 @@ paper shows in Listings 1/2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.campaign import CampaignConfig, run_repetitions
+from repro.core.campaign import CampaignConfig, run_repetitions_parallel
 from repro.core.stats import time_to_bugs
 from repro.protocols import TargetSpec, get_target
 from repro.sanitizer.report import CrashReport
@@ -61,15 +61,21 @@ def expected_counts(spec: TargetSpec) -> Dict[str, int]:
 
 def run_table1_row(target_name: str, *, repetitions: int = 2,
                    budget_hours: float = 24.0, base_seed: int = 7,
-                   config: Optional[CampaignConfig] = None) -> Table1Row:
-    """Fuzz one bug-carrying project with Peach* and tally unique bugs."""
+                   config: Optional[CampaignConfig] = None,
+                   jobs: Optional[int] = 1) -> Table1Row:
+    """Fuzz one bug-carrying project with Peach* and tally unique bugs.
+
+    ``jobs`` > 1 runs the repetitions on worker processes (identical
+    results, lower wall-clock).
+    """
     spec = get_target(target_name)
     if config is None:
         config = CampaignConfig(budget_hours=budget_hours)
     else:
-        config.budget_hours = budget_hours
-    results = run_repetitions("peach-star", spec, repetitions=repetitions,
-                              base_seed=base_seed, config=config)
+        config = replace(config, budget_hours=budget_hours)
+    results = run_repetitions_parallel(
+        "peach-star", spec, repetitions=repetitions,
+        base_seed=base_seed, config=config, max_workers=jobs)
     by_key: Dict[Tuple[str, str], CrashReport] = {}
     for result in results:
         for report in result.unique_crashes:

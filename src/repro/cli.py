@@ -33,11 +33,22 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
                         help="hard execution bound")
     parser.add_argument("--seed", type=int, default=0,
                         help="campaign RNG seed")
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "monitoring", "settrace"),
+                        help="line-coverage backend (auto: sys.monitoring "
+                             "on CPython 3.12+, else sys.settrace)")
+
+
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for campaign fan-out "
+                             "(default: REPRO_JOBS or cores-1; 1 = serial)")
 
 
 def _config(args) -> CampaignConfig:
     return CampaignConfig(budget_hours=args.hours,
-                          max_executions=args.max_execs)
+                          max_executions=args.max_execs,
+                          coverage_backend=args.backend)
 
 
 def cmd_targets(_args) -> int:
@@ -70,7 +81,8 @@ def cmd_fuzz(args) -> int:
 def cmd_compare(args) -> int:
     spec = get_target(args.target)
     panel = run_fig4_panel(spec, repetitions=args.repetitions,
-                           budget_hours=args.hours, base_seed=args.seed)
+                           budget_hours=args.hours, base_seed=args.seed,
+                           config=_config(args), jobs=args.jobs)
     print(render_panel_report(panel))
     return 0
 
@@ -106,7 +118,8 @@ def cmd_crack(args) -> int:
 
 def cmd_table1(args) -> int:
     rows = [run_table1_row(name, repetitions=args.repetitions,
-                           budget_hours=args.hours, base_seed=args.seed)
+                           budget_hours=args.hours, base_seed=args.seed,
+                           config=_config(args), jobs=args.jobs)
             for name in BUGGY_TARGETS]
     print(render_table1(rows))
     return 0
@@ -133,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("target")
     comp.add_argument("--repetitions", type=int, default=2)
     _add_budget_args(comp)
+    _add_jobs_arg(comp)
 
     crack = sub.add_parser("crack", help="crack a hex packet into puzzles")
     crack.add_argument("target")
@@ -141,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
     table1 = sub.add_parser("table1", help="reproduce the paper's Table I")
     table1.add_argument("--repetitions", type=int, default=2)
     _add_budget_args(table1)
+    _add_jobs_arg(table1)
 
     return parser
 

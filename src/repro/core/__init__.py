@@ -11,8 +11,10 @@ Components map 1:1 to the paper's Fig. 3:
 """
 
 from repro.core.campaign import (
-    CampaignConfig, CampaignResult, average_paths_at, average_series,
-    default_campaign_policy, make_engine, run_campaign, run_repetitions,
+    CampaignConfig, CampaignResult, CampaignTask, average_paths_at,
+    average_series, default_campaign_policy, default_worker_count,
+    make_engine, run_campaign, run_campaign_batch, run_repetitions,
+    run_repetitions_parallel,
 )
 from repro.core.corpus import PuzzleCorpus
 from repro.core.cracker import FileCracker
@@ -28,11 +30,12 @@ from repro.core.stats import (
 )
 
 __all__ = [
-    "CampaignConfig", "CampaignResult", "ComparisonSummary", "EngineStats",
-    "FileCracker", "GenerationFuzzer", "IterationOutcome", "PeachStar",
-    "PuzzleCorpus", "SeedPool", "SemanticGenerator", "ValuableSeed",
-    "average_paths_at", "average_series", "bugs_found", "compare",
-    "default_campaign_policy", "integrity_ok", "make_engine",
-    "path_increase_pct", "repair", "run_campaign", "run_repetitions",
-    "speedup_to_reference", "time_to_bugs",
+    "CampaignConfig", "CampaignResult", "CampaignTask", "ComparisonSummary",
+    "EngineStats", "FileCracker", "GenerationFuzzer", "IterationOutcome",
+    "PeachStar", "PuzzleCorpus", "SeedPool", "SemanticGenerator",
+    "ValuableSeed", "average_paths_at", "average_series", "bugs_found",
+    "compare", "default_campaign_policy", "default_worker_count",
+    "integrity_ok", "make_engine", "path_increase_pct", "repair",
+    "run_campaign", "run_campaign_batch", "run_repetitions",
+    "run_repetitions_parallel", "speedup_to_reference", "time_to_bugs",
 ]

@@ -10,14 +10,16 @@ the paper instruments both Peach and Peach* for measurement.
 
 from __future__ import annotations
 
+import os
 import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.engine import GenerationFuzzer, PeachStar
 from repro.model.mutators import GenerationPolicy
-from repro.runtime.clock import CostModel, SimulatedClock
-from repro.runtime.instrument import TracingCollector
+from repro.runtime.clock import SimulatedClock
+from repro.runtime.instrument import make_line_collector
 from repro.runtime.target import Target
 from repro.sanitizer.report import CrashReport
 
@@ -81,6 +83,8 @@ class CampaignConfig:
     crack_enabled: bool = True
     semantic_enabled: bool = True
     hang_budget: int = 120_000
+    #: line-coverage backend: "auto" | "monitoring" | "settrace"
+    coverage_backend: str = "auto"
 
 
 def make_engine(engine_name: str, target_spec, seed: int,
@@ -93,9 +97,10 @@ def make_engine(engine_name: str, target_spec, seed: int,
     """
     config = config if config is not None else CampaignConfig()
     rng = random.Random(seed)
-    collector = TracingCollector(
-        module_prefixes=("repro/protocols",),
-        hang_budget=config.hang_budget)
+    collector = make_line_collector(
+        ("repro/protocols",),
+        hang_budget=config.hang_budget,
+        backend=config.coverage_backend)
     target = Target(target_spec.make_server, collector)
     clock = SimulatedClock(target_spec.cost_model)
     pit = target_spec.make_pit()
@@ -114,10 +119,17 @@ def make_engine(engine_name: str, target_spec, seed: int,
 
 
 def run_campaign(engine_name: str, target_spec, seed: int = 0,
-                 config: Optional[CampaignConfig] = None) -> CampaignResult:
-    """Run one budgeted campaign and collect its result."""
+                 config: Optional[CampaignConfig] = None,
+                 engine: Optional[GenerationFuzzer] = None) -> CampaignResult:
+    """Run one budgeted campaign and collect its result.
+
+    *engine* injects a pre-built (possibly re-instrumented) engine; the
+    equivalence tests use this to drive the dense reference coverage
+    implementation through an otherwise identical campaign.
+    """
     config = config if config is not None else CampaignConfig()
-    engine = make_engine(engine_name, target_spec, seed, config)
+    if engine is None:
+        engine = make_engine(engine_name, target_spec, seed, config)
     budget_ms = config.budget_hours * 3_600_000.0
     series: List[Tuple[float, int]] = [(0.0, 0)]
     crash_times: Dict[Tuple[str, str], float] = {}
@@ -152,6 +164,86 @@ def run_repetitions(engine_name: str, target_spec, *, repetitions: int,
     return [run_campaign(engine_name, target_spec,
                          seed=base_seed + 1000 * rep, config=config)
             for rep in range(repetitions)]
+
+
+# -- parallel campaign execution ---------------------------------------------
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One schedulable campaign: (engine, target, seed, config).
+
+    Targets travel by registry name so tasks stay cheap to pickle; the
+    worker re-resolves the :class:`~repro.protocols.TargetSpec` in its own
+    process.
+    """
+
+    engine_name: str
+    target_name: str
+    seed: int
+    config: Optional[CampaignConfig] = None
+
+
+def default_worker_count() -> int:
+    """Worker processes to use when the caller does not say.
+
+    ``REPRO_JOBS`` overrides; ``0``/``1`` force serial execution.  The
+    fallback leaves one core for the parent so result collection never
+    starves.
+    """
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _campaign_worker(task: CampaignTask) -> CampaignResult:
+    """Process-pool entry point: resolve the target and run one campaign."""
+    from repro.protocols import get_target
+    return run_campaign(task.engine_name, get_target(task.target_name),
+                        seed=task.seed, config=task.config)
+
+
+def run_campaign_batch(tasks: Sequence[CampaignTask], *,
+                       max_workers: Optional[int] = None
+                       ) -> List[CampaignResult]:
+    """Run many campaigns, fanning out across processes.
+
+    Results come back in task order, and each campaign is seeded
+    independently, so the output is identical to running the tasks
+    serially — parallelism only changes wall-clock time.  Falls back to
+    in-process execution when only one worker is requested, there is only
+    one task, or the platform refuses to give us a process pool.
+    """
+    tasks = list(tasks)
+    if max_workers is None:
+        max_workers = default_worker_count()
+    if len(tasks) <= 1 or max_workers <= 1:
+        return [_campaign_worker(task) for task in tasks]
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(max_workers, len(tasks)))
+    except OSError:
+        # sandboxed/exotic platforms that refuse a pool: degrade to
+        # serial, same results.  Failures *inside* a running pool are
+        # deliberately not swallowed — re-running the whole batch would
+        # silently double the work.
+        return [_campaign_worker(task) for task in tasks]
+    with pool:
+        return list(pool.map(_campaign_worker, tasks))
+
+
+def run_repetitions_parallel(engine_name: str, target_spec, *,
+                             repetitions: int, base_seed: int = 0,
+                             config: Optional[CampaignConfig] = None,
+                             max_workers: Optional[int] = None
+                             ) -> List[CampaignResult]:
+    """Parallel :func:`run_repetitions`: same results, one rep per core."""
+    tasks = [CampaignTask(engine_name, target_spec.name,
+                          base_seed + 1000 * rep, config)
+             for rep in range(repetitions)]
+    return run_campaign_batch(tasks, max_workers=max_workers)
 
 
 def average_paths_at(results: Sequence[CampaignResult],

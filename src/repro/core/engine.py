@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Optional, Tuple
 
 from repro.core.corpus import PuzzleCorpus
@@ -33,7 +33,7 @@ from repro.runtime.target import ExecResult, Target
 from repro.sanitizer.report import CrashDatabase
 
 
-@dataclass
+@dataclass(slots=True)
 class IterationOutcome:
     """What one fuzzing iteration produced (consumed by the campaign)."""
 
@@ -45,7 +45,7 @@ class IterationOutcome:
     semantic: bool = False  # packet came from donor splicing
 
 
-@dataclass
+@dataclass(slots=True)
 class EngineStats:
     executions: int = 0
     valuable_seeds: int = 0

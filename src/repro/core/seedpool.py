@@ -16,7 +16,7 @@ from repro.model.instree import InsTree
 from repro.runtime.coverage import CoverageMap, GlobalCoverage
 
 
-@dataclass
+@dataclass(slots=True)
 class ValuableSeed:
     """One retained seed: the packet, its origin model, and when it landed."""
 
@@ -29,10 +29,17 @@ class ValuableSeed:
 
 
 class SeedPool:
-    """Coverage feedback + retained valuable seeds."""
+    """Coverage feedback + retained valuable seeds.
 
-    def __init__(self):
-        self.coverage = GlobalCoverage()
+    ``consider`` runs once per execution, so it leans on the sparse
+    coverage pipeline: ``merge`` walks the execution map's touched-edge
+    journal and ``edge_count`` is O(1), never scanning the full map.
+    """
+
+    __slots__ = ("coverage", "seeds")
+
+    def __init__(self, coverage: Optional[GlobalCoverage] = None):
+        self.coverage = coverage if coverage is not None else GlobalCoverage()
         self.seeds: List[ValuableSeed] = []
 
     def consider(self, packet: bytes, model_name: str,

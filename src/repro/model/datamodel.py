@@ -21,10 +21,10 @@ function code / packet type of a protocol.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.model.fields import (
-    Blob, Block, Choice, Field, ModelError, Number, ParseError, Repeat, Str,
+    Blob, Block, Choice, Field, ModelError, Number, ParseError, Repeat,
 )
 from repro.model.instree import InsNode, InsTree
 

@@ -14,7 +14,7 @@ no donors, paper Alg. 3 lines 14-15).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.model.datamodel import ValueProvider

@@ -39,7 +39,7 @@ from repro.model.fields import (
     Blob, Block, Choice, Field, ModelError, Number, Repeat, Str,
 )
 from repro.model.fixups import (
-    Crc16ModbusFixup, Crc32Fixup, Dnp3CrcFixup, Fixup, Lrc8Fixup, Sum8Fixup,
+    Crc16ModbusFixup, Crc32Fixup, Dnp3CrcFixup, Lrc8Fixup, Sum8Fixup,
     Xor8Fixup, attach_fixup,
 )
 from repro.model.relations import CountOf, SizeOf, attach_relation

@@ -14,7 +14,7 @@ Use :func:`get_target` / :func:`all_targets` to enumerate them:
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Tuple
 
 from repro.runtime.clock import CostModel

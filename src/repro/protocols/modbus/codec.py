@@ -9,7 +9,6 @@ C-style against the simulated heap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 PROTOCOL_ID = 0
 

@@ -2,16 +2,19 @@
 
 from repro.runtime.clock import CostModel, SimulatedClock
 from repro.runtime.coverage import (
-    MAP_SIZE, CoverageMap, GlobalCoverage, bucket_count,
+    BUCKET_LUT, MAP_SIZE, CoverageMap, GlobalCoverage, bucket_count,
 )
 from repro.runtime.instrument import (
-    Collector, ExplicitCollector, HangBudgetExceeded, TracingCollector,
+    Collector, ExplicitCollector, HangBudgetExceeded, MonitoringCollector,
+    TracingCollector, make_line_collector, monitoring_available,
+    resolve_backend,
 )
 from repro.runtime.target import ExecResult, ProtocolServer, Target
 
 __all__ = [
-    "Collector", "CostModel", "CoverageMap", "ExecResult",
+    "BUCKET_LUT", "Collector", "CostModel", "CoverageMap", "ExecResult",
     "ExplicitCollector", "GlobalCoverage", "HangBudgetExceeded", "MAP_SIZE",
-    "ProtocolServer", "SimulatedClock", "Target", "TracingCollector",
-    "bucket_count",
+    "MonitoringCollector", "ProtocolServer", "SimulatedClock", "Target",
+    "TracingCollector", "bucket_count", "make_line_collector",
+    "monitoring_available", "resolve_backend",
 ]

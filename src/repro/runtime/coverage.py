@@ -12,15 +12,27 @@ whether a seed reached "a new program execution state that has not
 appeared before" — i.e. whether it is *valuable*.  Hit counts are bucketed
 into power-of-two classes like AFL so loop-count changes register as new
 states without exploding the path count.
+
+Performance model: a typical execution touches a few hundred of the
+65,536 edges, so every per-execution operation (``merge``,
+``edge_count``, ``path_hash``, reset) runs off a *journal* of touched
+indices — O(touched) instead of O(MAP_SIZE).  This is AFL's
+sparse-virgin-map trick adapted to CPython: the dense array stays (so
+index arithmetic is one bytearray access), but nothing ever scans it.
+All mutation must go through :meth:`CoverageMap.visit`; writing
+``counts`` directly desynchronizes the journal.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, List, Tuple
 
 MAP_SIZE_POW2 = 16
 MAP_SIZE = 1 << MAP_SIZE_POW2
 _MAP_MASK = MAP_SIZE - 1
+
+#: journals longer than this zero faster via the template slice-assign
+_SPARSE_RESET_LIMIT = MAP_SIZE // 16
 
 def bucket_count(count: int) -> int:
     """Map a raw edge hit count onto its AFL bucket bit.
@@ -47,24 +59,44 @@ def bucket_count(count: int) -> int:
     return 128
 
 
+#: AFL's count_class_lookup as a flat table: one C-level index replaces
+#: the eight-way Python branch chain on every merged edge.
+BUCKET_LUT = bytes(bucket_count(count) for count in range(256))
+
+_ZERO_TEMPLATE = bytes(MAP_SIZE)
+
+
 class CoverageMap:
     """Per-execution edge hit map (``shared_mem`` analog)."""
 
-    __slots__ = ("counts", "_prev")
+    __slots__ = ("counts", "journal", "_prev")
 
     def __init__(self):
         self.counts = bytearray(MAP_SIZE)
+        #: indices touched this execution, in first-touch order (no dups)
+        self.journal: List[int] = []
         self._prev = 0
 
     def reset(self) -> None:
-        """Clear the map for the next execution."""
-        for index in range(MAP_SIZE):
-            self.counts[index] = 0
+        """Clear the map for the next execution (full-map slice assign)."""
+        self.counts[:] = _ZERO_TEMPLATE
+        self.journal.clear()
         self._prev = 0
 
     def fast_reset(self) -> None:
-        """Clear by reallocation (faster than zeroing in CPython)."""
-        self.counts = bytearray(MAP_SIZE)
+        """Clear only what the journal says was touched.
+
+        Falls back to the template slice-assign when the journal is large
+        enough that per-index stores would cost more than the memcpy.
+        """
+        journal = self.journal
+        if len(journal) > _SPARSE_RESET_LIMIT:
+            self.counts[:] = _ZERO_TEMPLATE
+        else:
+            counts = self.counts
+            for index in journal:
+                counts[index] = 0
+        journal.clear()
         self._prev = 0
 
     def visit(self, cur_location: int) -> None:
@@ -74,31 +106,36 @@ class CoverageMap:
         then shift ``prev``.
         """
         index = (cur_location ^ self._prev) & _MAP_MASK
-        count = self.counts[index]
-        if count < 255:
-            self.counts[index] = count + 1
+        counts = self.counts
+        count = counts[index]
+        if count == 0:
+            counts[index] = 1
+            self.journal.append(index)
+        elif count < 255:
+            counts[index] = count + 1
         self._prev = (cur_location >> 1) & _MAP_MASK
 
     def iter_hits(self) -> Iterable[Tuple[int, int]]:
-        """Yield ``(edge_index, raw_count)`` for every touched edge."""
+        """Yield ``(edge_index, raw_count)`` for every touched edge.
+
+        Ascending index order, matching a dense left-to-right map scan.
+        """
         counts = self.counts
-        for index in range(MAP_SIZE):
-            if counts[index]:
-                yield index, counts[index]
+        for index in sorted(self.journal):
+            yield index, counts[index]
 
     def edge_count(self) -> int:
         """Number of distinct edges touched this execution."""
-        return sum(1 for byte in self.counts if byte)
+        return len(self.journal)
 
     def path_hash(self) -> int:
         """Order-insensitive hash of the bucketed map (path identity)."""
         acc = 0xCBF29CE484222325
         counts = self.counts
-        for index in range(MAP_SIZE):
-            count = counts[index]
-            if count:
-                acc ^= (index << 8) | bucket_count(count)
-                acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        lut = BUCKET_LUT
+        for index in sorted(self.journal):
+            acc ^= (index << 8) | lut[counts[index]]
+            acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
         return acc
 
 
@@ -115,25 +152,32 @@ class GlobalCoverage:
         """Fold *execution_map* in; return True when new state was reached.
 
         New state = a never-seen edge, or a never-seen hit-count bucket on
-        a known edge — AFL's ``has_new_bits``.
+        a known edge — AFL's ``has_new_bits``.  Walks the journal (each
+        index is independent, so touch order does not affect the result).
         """
         new_bits = False
+        new_edges = 0
         virgin = self.virgin
-        for index, count in execution_map.iter_hits():
-            bit = bucket_count(count)
+        counts = execution_map.counts
+        lut = BUCKET_LUT
+        for index in execution_map.journal:
             seen = virgin[index]
+            bit = lut[counts[index]]
             if seen & bit == 0:
                 if seen == 0:
-                    self.edges_seen += 1
+                    new_edges += 1
                 virgin[index] = seen | bit
                 new_bits = True
+        self.edges_seen += new_edges
         return new_bits
 
     def would_be_new(self, execution_map: CoverageMap) -> bool:
         """Non-mutating variant of :meth:`merge`."""
         virgin = self.virgin
-        for index, count in execution_map.iter_hits():
-            if virgin[index] & bucket_count(count) == 0:
+        counts = execution_map.counts
+        lut = BUCKET_LUT
+        for index in execution_map.journal:
+            if virgin[index] & lut[counts[index]] == 0:
                 return True
         return False
 

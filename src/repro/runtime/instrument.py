@@ -1,29 +1,80 @@
 """Instrumentation collectors: how basic-block ids reach the coverage map.
 
 The paper compiles targets with ``Peach*-clang`` (an LLVM pass inserting
-the edge-count snippet at branch points).  Our targets are Python, so two
-collectors are provided:
+the edge-count snippet at branch points).  Our targets are Python, so
+three collectors are provided:
 
 * :class:`TracingCollector` — zero-modification instrumentation via
   ``sys.settrace``: every executed line of the target's modules becomes a
   basic block whose id is a stable hash of ``(filename, lineno)``.  This
-  matches the LLVM pass's granularity closely (one block per branch arm)
-  and is the default.
+  matches the LLVM pass's granularity closely (one block per branch arm).
+* :class:`MonitoringCollector` — the same line granularity via
+  ``sys.monitoring`` (PEP 669, CPython 3.12+), which dispatches from the
+  interpreter loop without per-frame trace-function plumbing and lets us
+  permanently DISABLE out-of-scope code locations instead of re-filtering
+  them on every event.
 * :class:`ExplicitCollector` — targets call :meth:`ExplicitCollector.hit`
   with a label at interesting points; useful for speed-critical loops and
   for unit-testing the coverage plumbing.
 
-Both feed the same :class:`~repro.runtime.coverage.CoverageMap` and also
-count executed blocks so the harness can flag hangs (runaway loops).
+:func:`make_line_collector` picks the fastest available line backend
+(``sys.monitoring`` when the interpreter has it, else ``sys.settrace``);
+``REPRO_COVERAGE_BACKEND=settrace|monitoring`` forces a choice.
+
+Both line collectors key their block-id cache by *code object* and then
+by line number, so the hot callback does two dict probes on interned
+objects instead of allocating a ``(filename, lineno)`` tuple per traced
+line.  All feed the same :class:`~repro.runtime.coverage.CoverageMap`
+and count executed blocks so the harness can flag hangs (runaway loops).
 """
 
 from __future__ import annotations
 
+import os
 import sys
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.runtime.coverage import CoverageMap
 from repro.util import fnv1a32
+
+_MONITORING = getattr(sys, "monitoring", None)
+
+
+def monitoring_available() -> bool:
+    """True when the interpreter offers ``sys.monitoring`` (PEP 669)."""
+    return _MONITORING is not None
+
+
+def _monitoring_usable() -> bool:
+    """True when the coverage tool id is free (or already ours).
+
+    ``coverage.py`` under ``COVERAGE_CORE=sysmon``, debuggers and
+    profilers can hold the id; ``auto`` then quietly picks settrace
+    instead of blowing up on the first execution.
+    """
+    if _MONITORING is None:
+        return False
+    holder = _MONITORING.get_tool(_MONITORING.COVERAGE_ID)
+    return holder is None or holder == "repro-coverage"
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Resolve a backend request to ``"monitoring"`` or ``"settrace"``.
+
+    ``"auto"`` consults ``REPRO_COVERAGE_BACKEND`` and then prefers
+    ``sys.monitoring`` when available, falling back to ``sys.settrace``
+    on older interpreters.
+    """
+    choice = backend or "auto"
+    if choice == "auto":
+        choice = os.environ.get("REPRO_COVERAGE_BACKEND", "auto") or "auto"
+    if choice == "auto":
+        return "monitoring" if _monitoring_usable() else "settrace"
+    if choice not in ("monitoring", "settrace"):
+        raise ValueError(
+            f"unknown coverage backend {choice!r}; "
+            "choices: auto, monitoring, settrace")
+    return choice
 
 
 class HangBudgetExceeded(Exception):
@@ -32,6 +83,9 @@ class HangBudgetExceeded(Exception):
 
 class Collector:
     """Common interface: a context manager scoped to one execution."""
+
+    #: which instrumentation mechanism feeds the map (for stats/reports)
+    backend_name = "none"
 
     def __init__(self, coverage_map: Optional[CoverageMap] = None,
                  hang_budget: int = 200_000):
@@ -58,6 +112,8 @@ class Collector:
 class ExplicitCollector(Collector):
     """Targets call :meth:`hit` with a stable label at each branch point."""
 
+    backend_name = "explicit"
+
     def __init__(self, coverage_map: Optional[CoverageMap] = None,
                  hang_budget: int = 200_000):
         super().__init__(coverage_map, hang_budget)
@@ -75,7 +131,42 @@ class ExplicitCollector(Collector):
             raise HangBudgetExceeded(label)
 
 
-class TracingCollector(Collector):
+class _LineCollector(Collector):
+    """Shared state of the two line-granularity backends."""
+
+    def __init__(self, module_prefixes: Iterable[str],
+                 coverage_map: Optional[CoverageMap] = None,
+                 hang_budget: int = 200_000):
+        super().__init__(coverage_map, hang_budget)
+        self.module_prefixes = tuple(module_prefixes)
+        #: code object -> {lineno -> block id}; code objects are cached by
+        #: identity so the hot path never rebuilds filename:lineno strings
+        self._code_line_ids: Dict[object, Dict[int, int]] = {}
+        self._file_match_cache: Dict[str, bool] = {}
+        self._visit = self.map.visit
+
+    def _file_matches(self, filename: str) -> bool:
+        cached = self._file_match_cache.get(filename)
+        if cached is None:
+            cached = any(prefix in filename
+                         for prefix in self.module_prefixes)
+            self._file_match_cache[filename] = cached
+        return cached
+
+    # NOTE: both backends inline the block-id lookup in their per-line
+    # callback instead of sharing a helper — a method call per traced
+    # line is exactly the overhead this layer exists to avoid.  The id
+    # scheme is pinned cross-backend by fnv1a32(f"{filename}:{lineno}")
+    # and the backend-equivalence test in tests/runtime/test_backends.py.
+
+    def begin(self) -> None:
+        super().begin()
+        # rebind in case the map object was swapped between executions
+        # (the equivalence tests inject the dense reference this way)
+        self._visit = self.map.visit
+
+
+class TracingCollector(_LineCollector):
     """``sys.settrace``-based line/edge coverage scoped to target modules.
 
     Parameters
@@ -86,22 +177,13 @@ class TracingCollector(Collector):
         stdlib) is skipped at call granularity, keeping overhead low.
     """
 
+    backend_name = "settrace"
+
     def __init__(self, module_prefixes: Iterable[str],
                  coverage_map: Optional[CoverageMap] = None,
                  hang_budget: int = 200_000):
-        super().__init__(coverage_map, hang_budget)
-        self.module_prefixes = tuple(module_prefixes)
-        self._line_ids: Dict[tuple, int] = {}
-        self._file_match_cache: Dict[str, bool] = {}
+        super().__init__(module_prefixes, coverage_map, hang_budget)
         self._saved_trace = None
-
-    def _file_matches(self, filename: str) -> bool:
-        cached = self._file_match_cache.get(filename)
-        if cached is None:
-            cached = any(prefix in filename
-                         for prefix in self.module_prefixes)
-            self._file_match_cache[filename] = cached
-        return cached
 
     def begin(self) -> None:
         super().begin()
@@ -124,13 +206,115 @@ class TracingCollector(Collector):
     def _local_trace(self, frame, event, arg):
         if event != "line":
             return self._local_trace
-        key = (frame.f_code.co_filename, frame.f_lineno)
-        block_id = self._line_ids.get(key)
+        code = frame.f_code
+        line_ids = self._code_line_ids.get(code)
+        if line_ids is None:
+            self._code_line_ids[code] = line_ids = {}
+        lineno = frame.f_lineno
+        block_id = line_ids.get(lineno)
         if block_id is None:
-            block_id = fnv1a32(f"{key[0]}:{key[1]}")
-            self._line_ids[key] = block_id
-        self.map.visit(block_id)
+            block_id = fnv1a32(f"{code.co_filename}:{lineno}")
+            line_ids[lineno] = block_id
+        self._visit(block_id)
         self.blocks_executed += 1
         if self.blocks_executed > self.hang_budget:
-            raise HangBudgetExceeded(f"{key[0]}:{key[1]}")
+            raise HangBudgetExceeded(f"{code.co_filename}:{lineno}")
         return self._local_trace
+
+
+class MonitoringCollector(_LineCollector):
+    """``sys.monitoring`` (PEP 669) line coverage, CPython 3.12+.
+
+    Produces the same block ids as :class:`TracingCollector` (the stable
+    ``filename:lineno`` hash), so coverage maps are interchangeable
+    between backends.  Out-of-scope code locations are DISABLEd at the
+    interpreter level after their first event, so steady-state overhead
+    is paid only inside the target modules.
+    """
+
+    backend_name = "monitoring"
+
+    #: scope whose DISABLEd locations currently persist in the
+    #: interpreter.  DISABLE state survives set_events(0)/free_tool_id,
+    #: which is the perf win (out-of-scope code stays silent across
+    #: executions) — but it must be flushed with restart_events() the
+    #: moment a collector with a *different* scope takes over, or that
+    #: collector would be blind to everything its predecessor disabled.
+    _disabled_scope: Optional[Tuple[str, ...]] = None
+
+    def __init__(self, module_prefixes: Iterable[str],
+                 coverage_map: Optional[CoverageMap] = None,
+                 hang_budget: int = 200_000,
+                 tool_id: Optional[int] = None):
+        if _MONITORING is None:
+            raise RuntimeError(
+                "sys.monitoring is not available on this interpreter "
+                f"({sys.version_info.major}.{sys.version_info.minor}); "
+                "use TracingCollector or make_line_collector()")
+        super().__init__(module_prefixes, coverage_map, hang_budget)
+        self._tool_id = (tool_id if tool_id is not None
+                         else _MONITORING.COVERAGE_ID)
+        self._active = False
+
+    def begin(self) -> None:
+        super().begin()
+        mon = _MONITORING
+        try:
+            mon.use_tool_id(self._tool_id, "repro-coverage")
+        except ValueError as exc:
+            raise RuntimeError(
+                f"sys.monitoring tool id {self._tool_id} is held by "
+                f"{mon.get_tool(self._tool_id)!r}; force the settrace "
+                "backend (REPRO_COVERAGE_BACKEND=settrace)") from exc
+        if MonitoringCollector._disabled_scope != self.module_prefixes:
+            if MonitoringCollector._disabled_scope is not None:
+                mon.restart_events()
+            MonitoringCollector._disabled_scope = self.module_prefixes
+        mon.register_callback(self._tool_id, mon.events.LINE, self._on_line)
+        mon.set_events(self._tool_id, mon.events.LINE)
+        self._active = True
+
+    def end(self) -> None:
+        if not self._active:
+            return
+        mon = _MONITORING
+        mon.set_events(self._tool_id, 0)
+        mon.register_callback(self._tool_id, mon.events.LINE, None)
+        mon.free_tool_id(self._tool_id)
+        self._active = False
+
+    def _on_line(self, code, lineno: int):
+        if not self._file_matches(code.co_filename):
+            return _MONITORING.DISABLE
+        line_ids = self._code_line_ids.get(code)
+        if line_ids is None:
+            self._code_line_ids[code] = line_ids = {}
+        block_id = line_ids.get(lineno)
+        if block_id is None:
+            block_id = fnv1a32(f"{code.co_filename}:{lineno}")
+            line_ids[lineno] = block_id
+        self._visit(block_id)
+        self.blocks_executed += 1
+        if self.blocks_executed > self.hang_budget:
+            raise HangBudgetExceeded(f"{code.co_filename}:{lineno}")
+        return None
+
+
+def make_line_collector(module_prefixes: Iterable[str], *,
+                        coverage_map: Optional[CoverageMap] = None,
+                        hang_budget: int = 200_000,
+                        backend: str = "auto") -> _LineCollector:
+    """Build the fastest line-granularity collector for this interpreter.
+
+    ``backend="auto"`` (or ``REPRO_COVERAGE_BACKEND``) selects
+    ``sys.monitoring`` on CPython 3.12+ and falls back to ``sys.settrace``
+    on older interpreters; an explicit ``"monitoring"`` request on an
+    interpreter without PEP 669 raises so misconfiguration is loud.
+    """
+    choice = resolve_backend(backend)
+    if choice == "monitoring":
+        return MonitoringCollector(module_prefixes,
+                                   coverage_map=coverage_map,
+                                   hang_budget=hang_budget)
+    return TracingCollector(module_prefixes, coverage_map=coverage_map,
+                            hang_budget=hang_budget)

@@ -20,9 +20,9 @@ from repro.sanitizer.heap import SimHeap
 from repro.sanitizer.report import CrashReport, report_from_fault
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecResult:
-    """Outcome of one target execution."""
+    """Outcome of one target execution (slotted: one per fuzz iteration)."""
 
     coverage: Optional[CoverageMap]
     crash: Optional[CrashReport]

@@ -8,7 +8,7 @@ faults in the same shape, and :class:`CrashDatabase` deduplicates by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.sanitizer.errors import MemoryFault

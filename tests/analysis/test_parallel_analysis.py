@@ -1,0 +1,43 @@
+"""Analysis-layer fan-out: parallel sweeps must equal serial sweeps.
+
+`run_headline` / `run_fig4_panel` schedule their campaigns as one batch
+and regroup results by position; these tests pin the regrouping against
+the serial path (jobs=1) so a reordering bug can't silently misattribute
+a campaign to the wrong engine or target.
+"""
+
+from dataclasses import asdict
+
+from repro.analysis.figures import run_fig4_panel
+from repro.analysis.speedup import run_headline
+from repro.core import CampaignConfig
+from repro.protocols import get_target
+
+_CONFIG = CampaignConfig(budget_hours=24.0, max_executions=80,
+                         record_every=10)
+
+
+def test_run_headline_parallel_matches_serial():
+    targets = [get_target("libmodbus"), get_target("iec104")]
+    serial = run_headline(targets, repetitions=2, budget_hours=24.0,
+                          base_seed=9, config=_CONFIG, jobs=1)
+    fanned = run_headline(targets, repetitions=2, budget_hours=24.0,
+                          base_seed=9, config=_CONFIG, jobs=2)
+    assert [asdict(s) for s in serial.summaries] == \
+        [asdict(s) for s in fanned.summaries]
+    assert [s.target_name for s in fanned.summaries] == \
+        ["libmodbus", "iec104"]
+
+
+def test_run_fig4_panel_parallel_matches_serial():
+    spec = get_target("libmodbus")
+    serial = run_fig4_panel(spec, repetitions=2, budget_hours=24.0,
+                            base_seed=13, config=_CONFIG, jobs=1)
+    fanned = run_fig4_panel(spec, repetitions=2, budget_hours=24.0,
+                            base_seed=13, config=_CONFIG, jobs=2)
+    assert serial.peach_curve == fanned.peach_curve
+    assert serial.star_curve == fanned.star_curve
+    assert [r.seed for r in fanned.peach_results] == \
+        [r.seed for r in serial.peach_results]
+    assert [r.engine_name for r in fanned.star_results] == \
+        ["peach-star", "peach-star"]

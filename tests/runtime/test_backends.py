@@ -1,0 +1,103 @@
+"""Coverage-backend selection: sys.monitoring vs sys.settrace.
+
+The monitoring backend needs CPython 3.12+ (PEP 669); on older
+interpreters `make_line_collector` must fall back to settrace
+automatically, and an *explicit* monitoring request must fail loudly.
+The behavioural tests run on both backends where available and require
+identical coverage maps.
+"""
+
+import sys
+
+import pytest
+
+from repro.protocols.modbus import ModbusServer, build_read_request
+from repro.runtime.instrument import (
+    MonitoringCollector, TracingCollector, _monitoring_usable,
+    make_line_collector, monitoring_available, resolve_backend,
+)
+from repro.sanitizer import SimHeap
+
+HAS_MONITORING = monitoring_available()
+#: auto also requires the coverage tool id to be free (e.g. not taken by
+#: coverage.py running under COVERAGE_CORE=sysmon)
+AUTO_MONITORING = _monitoring_usable()
+PREFIXES = ("repro/protocols",)
+
+
+class TestResolveBackend:
+    def test_auto_prefers_monitoring_when_available(self):
+        expected = "monitoring" if AUTO_MONITORING else "settrace"
+        assert resolve_backend("auto") == expected
+
+    def test_explicit_choice_passes_through(self):
+        assert resolve_backend("settrace") == "settrace"
+        assert resolve_backend("monitoring") == "monitoring"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COVERAGE_BACKEND", "settrace")
+        assert resolve_backend("auto") == "settrace"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COVERAGE_BACKEND", "settrace")
+        assert resolve_backend("monitoring") == "monitoring"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("ptrace")
+
+
+class TestFactory:
+    def test_auto_builds_best_available(self):
+        collector = make_line_collector(PREFIXES)
+        if AUTO_MONITORING:
+            assert isinstance(collector, MonitoringCollector)
+            assert collector.backend_name == "monitoring"
+        else:
+            assert isinstance(collector, TracingCollector)
+            assert collector.backend_name == "settrace"
+
+    def test_settrace_always_constructible(self):
+        collector = make_line_collector(PREFIXES, backend="settrace")
+        assert isinstance(collector, TracingCollector)
+
+    @pytest.mark.skipif(HAS_MONITORING,
+                        reason="needs an interpreter without PEP 669")
+    def test_monitoring_request_fails_loudly_without_pep669(self):
+        with pytest.raises(RuntimeError):
+            make_line_collector(PREFIXES, backend="monitoring")
+
+    def test_monitoring_version_gate_matches_interpreter(self):
+        assert HAS_MONITORING == (sys.version_info >= (3, 12))
+
+
+def _run_modbus(collector, packet):
+    server = ModbusServer()
+    with collector:
+        server.handle_packet(SimHeap(), packet)
+
+
+@pytest.mark.skipif(not HAS_MONITORING,
+                    reason="sys.monitoring needs CPython 3.12+")
+class TestMonitoringCollector:
+    def test_traces_target_module_lines(self):
+        collector = make_line_collector(PREFIXES, backend="monitoring")
+        _run_modbus(collector, build_read_request(3, 0, 2))
+        assert collector.map.edge_count() > 10
+        assert collector.blocks_executed > 10
+
+    def test_backends_produce_identical_maps(self):
+        packet = build_read_request(3, 0, 5)
+        monitoring = make_line_collector(PREFIXES, backend="monitoring")
+        _run_modbus(monitoring, packet)
+        settrace = make_line_collector(PREFIXES, backend="settrace")
+        _run_modbus(settrace, packet)
+        assert list(monitoring.map.iter_hits()) == \
+            list(settrace.map.iter_hits())
+        assert monitoring.map.path_hash() == settrace.map.path_hash()
+
+    def test_out_of_scope_modules_ignored(self):
+        collector = make_line_collector(("no/such/prefix",),
+                                        backend="monitoring")
+        _run_modbus(collector, build_read_request(3, 0, 2))
+        assert collector.map.edge_count() == 0
