@@ -1,0 +1,22 @@
+# One-word entry points for the tier-1 and presubmit commands.
+#
+#   make test   — tier-1: the full suite at the paper's 24h budgets
+#   make smoke  — presubmit: same suite, campaigns compressed to 2
+#                 simulated hours / 1 repetition (claim gates skipped)
+#   make bench  — the evaluation benchmarks only (regenerates BENCH_*.json)
+
+PY ?= python
+PYTEST_ARGS ?= -x -q
+
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke bench
+
+test:
+	$(PY) -m pytest $(PYTEST_ARGS)
+
+smoke:
+	REPRO_BENCH_HOURS=2 REPRO_BENCH_REPS=1 $(PY) -m pytest $(PYTEST_ARGS)
+
+bench:
+	$(PY) -m pytest benchmarks $(PYTEST_ARGS)

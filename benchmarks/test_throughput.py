@@ -15,11 +15,16 @@ the sparse pipeline than with the seed's dense implementation.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
 
+import pytest
+
 from benchmarks.conftest import (
-    BENCH_HOURS, CLAIMS_ENABLED, bench_config, print_block, write_artifact,
+    BENCH_HOURS, CLAIMS_ENABLED, artifact_path, bench_config, print_block,
+    write_artifact,
 )
 from repro.core.campaign import make_engine, run_campaign
 from repro.protocols import TARGET_NAMES, get_target
@@ -31,8 +36,60 @@ THROUGHPUT_TARGETS = TARGET_NAMES
 #: the headline campaign used for the sparse-vs-dense gate
 HEADLINE_TARGET = "libmodbus"
 HEADLINE_SEED = 500
+#: regression gate: the headline rate may not drop more than this far
+#: below the best entry in the recorded trajectory
+REGRESSION_TOLERANCE = 0.25
+#: trajectory entries kept in the artifact (oldest dropped first)
+TRAJECTORY_LIMIT = 20
 
 _CACHE = {}
+
+
+def _artifact_name() -> str:
+    # the committed trajectory artifact holds full-budget numbers only;
+    # compressed smoke runs (REPRO_BENCH_HOURS=2) write alongside it so
+    # they never clobber (or gate against) the 24h headline payload
+    return "throughput" if CLAIMS_ENABLED else "throughput_smoke"
+
+
+def _trim_trajectory(trajectory: list) -> list:
+    """Cap the trajectory without ratcheting the baseline down.
+
+    A plain tail-slice would eventually age out the best entry, letting
+    slow 25%-at-a-time regressions compound unnoticed; the all-time best
+    entry is therefore always retained alongside the most recent runs.
+    """
+    if len(trajectory) <= TRAJECTORY_LIMIT:
+        return trajectory
+    best = max(trajectory, key=lambda entry: entry["execs_per_sec"])
+    recent = trajectory[-TRAJECTORY_LIMIT:]
+    if best not in recent:
+        recent = [best] + recent[1:]
+    return recent
+
+
+def _prior_trajectory() -> list:
+    """Execs/sec trajectory recorded by previous runs of this artifact."""
+    path = artifact_path(_artifact_name())
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            prior = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    trajectory = list(prior.get("trajectory", ()))
+    if not trajectory and "sparse_vs_dense" in prior:
+        # pre-trajectory artifact (PR 1): synthesize its single entry
+        gate = prior["sparse_vs_dense"]
+        trajectory = [{
+            "python": prior.get("python"),
+            "backend": prior.get("backend"),
+            "bench_hours": prior.get("bench_hours"),
+            "execs_per_sec": gate["sparse_execs_per_sec"],
+            "speedup": gate.get("speedup"),
+        }]
+    return trajectory
 
 
 def _timed_campaign(engine_name, target_name, seed, dense=False):
@@ -78,6 +135,23 @@ def _throughput():
         "peach-star", HEADLINE_TARGET, HEADLINE_SEED, dense=True)
     assert sparse_result.executions == dense_result.executions, \
         "sparse and dense campaigns diverged; equivalence is broken"
+    prior = _prior_trajectory()
+    current_entry = {
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "backend": resolve_backend("auto"),
+        "bench_hours": BENCH_HOURS,
+        "execs_per_sec": round(sparse_rate, 1),
+        "speedup": round(sparse_rate / max(dense_rate, 1e-9), 2),
+    }
+    # only gate against entries recorded under a comparable environment:
+    # a backend or interpreter switch legitimately moves the baseline
+    def _comparable(entry):
+        return (entry.get("backend") == current_entry["backend"]
+                and entry.get("bench_hours") == BENCH_HOURS
+                and str(entry.get("python", "")).rsplit(".", 1)[0]
+                == current_entry["python"].rsplit(".", 1)[0])
+    prior_best = max((entry["execs_per_sec"] for entry in prior
+                      if _comparable(entry)), default=None)
     payload = {
         "backend": resolve_backend("auto"),
         "python": "%d.%d.%d" % sys.version_info[:3],
@@ -93,6 +167,14 @@ def _throughput():
             "dense_wall_seconds": round(dense_secs, 3),
             "speedup": round(sparse_rate / max(dense_rate, 1e-9), 2),
         },
+        "trajectory": _trim_trajectory(prior + [current_entry]),
+        "regression": {
+            "prior_best_execs_per_sec": prior_best,
+            "current_execs_per_sec": round(sparse_rate, 1),
+            "ratio": (round(sparse_rate / prior_best, 3)
+                      if prior_best else None),
+            "tolerance": REGRESSION_TOLERANCE,
+        },
     }
     _CACHE["payload"] = payload
     return payload
@@ -100,11 +182,7 @@ def _throughput():
 
 def test_throughput_artifact(benchmark):
     payload = benchmark.pedantic(_throughput, rounds=1, iterations=1)
-    # the committed trajectory artifact holds full-budget numbers only;
-    # compressed smoke runs (REPRO_BENCH_HOURS=2) write alongside it so
-    # they never clobber the 24h headline payload
-    name = "throughput" if CLAIMS_ENABLED else "throughput_smoke"
-    path = write_artifact(name, payload)
+    path = write_artifact(_artifact_name(), payload)
     rows = [f"{'target':<13} {'engine':<11} {'execs/sec':>10} "
             f"{'execs':>6} {'wall s':>8}"]
     for target_name, engines in payload["targets"].items():
@@ -131,3 +209,23 @@ def test_sparse_pipeline_at_least_3x_dense(benchmark):
     assert speedup >= 3.0, (
         f"sparse coverage pipeline is only {speedup:.2f}x the dense "
         "reference; the perf acceptance gate requires >= 3x")
+
+
+def test_no_throughput_regression_vs_trajectory(benchmark):
+    """The ROADMAP regression check: the headline campaign's execs/sec
+    may not drop more than 25% below the best recorded trajectory entry.
+    Smoke runs (compressed budgets) exercise the plumbing but skip the
+    gate — their rates are not comparable to the 24h trajectory."""
+    if not CLAIMS_ENABLED:
+        pytest.skip("regression gate needs the near-full benchmark budget")
+    payload = benchmark.pedantic(_throughput, rounds=1, iterations=1)
+    regression = payload["regression"]
+    prior_best = regression["prior_best_execs_per_sec"]
+    if not prior_best:
+        pytest.skip("no recorded trajectory yet")
+    current = regression["current_execs_per_sec"]
+    floor = (1.0 - REGRESSION_TOLERANCE) * prior_best
+    assert current >= floor, (
+        f"headline throughput {current:.1f} execs/sec fell more than "
+        f"{REGRESSION_TOLERANCE:.0%} below the best recorded trajectory "
+        f"entry ({prior_best:.1f} execs/sec; floor {floor:.1f})")

@@ -1,46 +1,83 @@
 #!/usr/bin/env python3
-"""Vulnerability triage: reproduce the paper's Table I workflow.
+"""Vulnerability triage: the paper's Table I workflow, productionized.
 
-Fuzzes the three bug-carrying targets with Peach*, deduplicates the
-crashes ASan-style, and prints each unique vulnerability with the
-provoking packet — including the lib60870 ``CS101_ASDU_getCOT`` SEGV the
-paper analyses in its Listings 1 and 2.
+Fuzzes the three bug-carrying targets with Peach* — persisting each
+campaign to an on-disk workspace — then runs the triage subsystem over
+the crashes: ASan-style dedup refined by call-site-sequence buckets,
+severity classification, test-case minimization (field-aware shrink +
+byte-level ddmin, re-executed under the sanitizer), and standalone
+reproducer export.  The lib60870 ``CS101_ASDU_getCOT`` SEGV the paper
+analyses in Listings 1 and 2 comes out as a minimized packet a few
+bytes long instead of whatever oversized mutant first hit it.
 
-Run:  python examples/triage_vulnerabilities.py [hours]
+Run:  python examples/triage_vulnerabilities.py [hours] [workspace-root]
+
+Workspaces land under <workspace-root> (default: a temp directory) and
+can be re-examined later:
+
+    peachstar triage --workspace <root>/<target> --verbose
+    peachstar resume <root>/<target>
 """
 
+import os
 import sys
+import tempfile
 
-from repro import CampaignConfig, get_target, run_campaign
+from repro import (
+    CampaignConfig, WorkspaceError, get_target, run_campaign,
+    triage_reports,
+)
+from repro.analysis import render_triage_table
 
 BUGGY_TARGETS = ("lib60870", "libmodbus", "libiccp")
 
 
 def main() -> None:
     hours = float(sys.argv[1]) if len(sys.argv) > 1 else 24.0
-    total = 0
+    root = sys.argv[2] if len(sys.argv) > 2 else \
+        tempfile.mkdtemp(prefix="peachstar-triage-")
+    total_bugs = 0
+    total_minimized = 0
     for target_name in BUGGY_TARGETS:
         spec = get_target(target_name)
+        workspace = os.path.join(root, target_name)
         print("=" * 68)
         print(f"fuzzing {spec.paper_project} "
               f"({spec.seeded_bug_count} seeded vulnerabilities) "
-              f"for {hours:.0f} simulated hours")
+              f"for {hours:.0f} simulated hours -> {workspace}")
         print("=" * 68)
-        result = run_campaign("peach-star", spec, seed=7,
-                              config=CampaignConfig(budget_hours=hours))
-        total += len(result.unique_crashes)
-        for report in sorted(result.unique_crashes,
-                             key=lambda r: result.crash_times[r.dedup_key]):
-            hours_seen = result.crash_times[report.dedup_key]
-            print(f"\n[{hours_seen:5.2f}h] unique vulnerability:")
-            print(report.render())
+        try:
+            result = run_campaign(
+                "peach-star", spec, seed=7,
+                config=CampaignConfig(budget_hours=hours,
+                                      workspace=workspace))
+        except WorkspaceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            sys.exit(2)
+        total_bugs += len(result.unique_crashes)
+        if not result.unique_crashes:
+            print("no crashes within budget\n")
+            continue
+        triage = triage_reports(spec, result.unique_crashes,
+                                out_dir=os.path.join(workspace, "repro"))
+        total_minimized += triage.minimized_count
+        print(render_triage_table(triage))
+        for crash in triage.crashes:
+            first_seen = result.crash_times.get(
+                crash.report.dedup_key, 0.0)
+            print(f"\n[{first_seen:5.2f}h] {crash.bucket.severity} "
+                  "— minimized reproducer:")
+            print(crash.final_report.render())
         missing = spec.seeded_bug_sites - \
             {r.dedup_key for r in result.unique_crashes}
         if missing:
             print(f"\nnot reached within budget: {sorted(missing)}")
         print()
     print("=" * 68)
-    print(f"total unique vulnerabilities exposed: {total} (paper: 9)")
+    print(f"total unique vulnerabilities exposed: {total_bugs} (paper: 9); "
+          f"{total_minimized} reproducers strictly smaller than the "
+          "provoking input")
+    print(f"workspaces + reproducers: {root}")
 
 
 if __name__ == "__main__":

@@ -27,7 +27,8 @@ Layers
 from repro.core import (
     CampaignConfig, CampaignResult, FileCracker, GenerationFuzzer,
     PeachStar, PuzzleCorpus, SeedPool, SemanticGenerator,
-    default_campaign_policy, make_engine, run_campaign, run_repetitions,
+    default_campaign_policy, make_engine, resume_campaign, run_campaign,
+    run_repetitions,
 )
 from repro.model import (
     Blob, Block, Choice, DataModel, GenerationPolicy, MutatorProvider,
@@ -36,16 +37,19 @@ from repro.model import (
 from repro.protocols import TargetSpec, all_targets, get_target
 from repro.runtime import Target, TracingCollector
 from repro.sanitizer import CrashDatabase, MemoryFault, SimHeap
+from repro.store import CampaignWorkspace, WorkspaceError
+from repro.triage import triage_reports
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "Blob", "Block", "CampaignConfig", "CampaignResult", "Choice",
-    "CrashDatabase", "DataModel", "FileCracker", "GenerationFuzzer",
-    "GenerationPolicy", "MemoryFault", "MutatorProvider", "Number",
-    "ParseError", "PeachStar", "Pit", "PuzzleCorpus", "Repeat", "SeedPool",
-    "SemanticGenerator", "SimHeap", "Str", "Target", "TargetSpec",
-    "TracingCollector", "all_targets", "default_campaign_policy",
-    "get_target", "load_pit_file", "load_pit_string", "make_engine",
-    "run_campaign", "run_repetitions", "__version__",
+    "Blob", "Block", "CampaignConfig", "CampaignResult",
+    "CampaignWorkspace", "Choice", "CrashDatabase", "DataModel",
+    "FileCracker", "GenerationFuzzer", "GenerationPolicy", "MemoryFault",
+    "MutatorProvider", "Number", "ParseError", "PeachStar", "Pit",
+    "PuzzleCorpus", "Repeat", "SeedPool", "SemanticGenerator", "SimHeap",
+    "Str", "Target", "TargetSpec", "TracingCollector", "WorkspaceError",
+    "all_targets", "default_campaign_policy", "get_target",
+    "load_pit_file", "load_pit_string", "make_engine", "resume_campaign",
+    "run_campaign", "run_repetitions", "triage_reports", "__version__",
 ]

@@ -14,10 +14,12 @@ from repro.analysis.tables import (
     BUGGY_TARGETS, PAPER_TABLE1, Table1Row, expected_counts, getcot_report,
     render_table1, run_table1_row,
 )
+from repro.analysis.triage import render_triage_table
 
 __all__ = [
     "BUGGY_TARGETS", "DEFAULT_CHECKPOINTS", "Fig4Panel", "HeadlineReport",
     "PAPER_TABLE1", "Table1Row", "ascii_chart", "expected_counts",
     "getcot_report", "render_panel_report", "render_table1",
-    "run_fig4_panel", "run_headline", "run_table1_row",
+    "render_triage_table", "run_fig4_panel", "run_headline",
+    "run_table1_row",
 ]

@@ -1,0 +1,43 @@
+"""Triage summary rendering: the analyst-facing table.
+
+Extends the paper's Table I shape with the triage subsystem's outputs:
+severity, refined bucket context, and original → minimized reproducer
+sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.triage.pipeline import TriageReport
+
+
+def render_triage_table(report: TriageReport) -> str:
+    """One row per unique crash bucket, most severe first."""
+    lines: List[str] = [
+        f"CRASH TRIAGE: {report.target_name} "
+        f"({len(report.crashes)} unique bucket"
+        f"{'s' if len(report.crashes) != 1 else ''}, "
+        f"{report.executions_spent} triage executions)",
+        f"{'severity':<9} {'type':<22} {'site':<36} {'ctx':>8} "
+        f"{'hits':>4} {'bytes':>11}",
+        "-" * 96,
+    ]
+    for crash in report.crashes:
+        bucket = crash.bucket
+        original = len(crash.report.packet)
+        minimized = len(crash.final_packet)
+        if crash.minimization is not None and crash.minimization.confirmed:
+            size = f"{original:>4} ->{minimized:>4}"
+        else:
+            size = f"{original:>4}  (?)"
+        lines.append(
+            f"{bucket.severity:<9} {bucket.kind:<22} {bucket.site:<36} "
+            f"{bucket.context_hash:08x} {bucket.count:>4} {size:>11}")
+    lines.append("-" * 96)
+    if report.minimized_count:
+        lines.append(f"{report.minimized_count} reproducer(s) strictly "
+                     "smaller than the provoking input")
+    if report.out_dir:
+        lines.append(f"reproducers exported to {report.out_dir}")
+    return "\n".join(lines)

@@ -3,7 +3,11 @@
 Sub-commands:
 
 * ``targets`` — list the six protocol targets and their seeded bugs
-* ``fuzz``    — run one campaign (``--engine peach|peach-star``)
+* ``fuzz``    — run one campaign (``--engine peach|peach-star``);
+  ``--workspace DIR`` persists it so it can be resumed
+* ``resume``  — continue a killed (or finished) persisted campaign
+* ``triage``  — minimize, bucket and export reproducers for crashes
+  (from a fresh campaign or a persisted workspace)
 * ``compare`` — Peach vs Peach* on one target, with the ASCII Fig. 4 panel
 * ``crack``   — crack a packet (hex) against a target's pit and print the
   InsTree + puzzles, demonstrating paper Alg. 2
@@ -17,13 +21,18 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import (
-    render_panel_report, render_table1, run_fig4_panel, run_table1_row,
+    render_panel_report, render_table1, render_triage_table, run_fig4_panel,
+    run_table1_row,
 )
 from repro.analysis.tables import BUGGY_TARGETS
-from repro.core import CampaignConfig, PuzzleCorpus, run_campaign
+from repro.core import (
+    CampaignConfig, PuzzleCorpus, resume_campaign, run_campaign,
+)
 from repro.core.cracker import FileCracker
 from repro.model.fields import ParseError
 from repro.protocols import all_targets, get_target
+from repro.store import CampaignWorkspace, WorkspaceError
+from repro.triage import triage_reports
 
 
 def _add_budget_args(parser: argparse.ArgumentParser) -> None:
@@ -48,7 +57,23 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
 def _config(args) -> CampaignConfig:
     return CampaignConfig(budget_hours=args.hours,
                           max_executions=args.max_execs,
-                          coverage_backend=args.backend)
+                          coverage_backend=args.backend,
+                          workspace=getattr(args, "workspace", None))
+
+
+def _print_campaign_summary(result, verbose: bool = False) -> None:
+    print(f"engine={result.engine_name} target={result.target_name}")
+    print(f"executions={result.executions} "
+          f"paths={result.final_paths} edges={result.final_edges}")
+    print(f"unique crashes: {len(result.unique_crashes)}")
+    for report in result.unique_crashes:
+        hours = result.crash_times.get(report.dedup_key, 0.0)
+        print(f"  [{hours:5.1f}h] {report.summary_line()}")
+    if verbose and result.unique_crashes:
+        print()
+        for report in result.unique_crashes:
+            print(report.render())
+            print()
 
 
 def cmd_targets(_args) -> int:
@@ -61,20 +86,70 @@ def cmd_targets(_args) -> int:
 
 def cmd_fuzz(args) -> int:
     spec = get_target(args.target)
-    result = run_campaign(args.engine, spec, seed=args.seed,
-                          config=_config(args))
-    print(f"engine={result.engine_name} target={result.target_name}")
-    print(f"executions={result.executions} "
-          f"paths={result.final_paths} edges={result.final_edges}")
-    print(f"unique crashes: {len(result.unique_crashes)}")
-    for report in result.unique_crashes:
-        hours = result.crash_times.get(report.dedup_key, 0.0)
-        print(f"  [{hours:5.1f}h] {report.summary_line()}")
-    if args.verbose and result.unique_crashes:
-        print()
-        for report in result.unique_crashes:
-            print(report.render())
+    try:
+        result = run_campaign(args.engine, spec, seed=args.seed,
+                              config=_config(args))
+    except WorkspaceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_campaign_summary(result, args.verbose)
+    if args.workspace:
+        print(f"workspace persisted to {args.workspace} "
+              "(continue with `peachstar resume`, analyse with "
+              "`peachstar triage --workspace`)")
+    return 0
+
+
+def cmd_resume(args) -> int:
+    try:
+        result = resume_campaign(args.workspace)
+    except WorkspaceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_campaign_summary(result, args.verbose)
+    return 0
+
+
+def cmd_triage(args) -> int:
+    backend = args.backend
+    try:
+        if args.workspace:
+            workspace = CampaignWorkspace(args.workspace)
+            manifest = workspace.load_manifest()
+            spec = get_target(manifest["target"])
+            if args.target and args.target != spec.name:
+                print(f"error: workspace belongs to {spec.name!r}, "
+                      f"not {args.target!r}", file=sys.stderr)
+                return 2
+            if backend == "auto":
+                backend = manifest["config"].get("coverage_backend", "auto")
+            crashes = workspace.load_crash_reports()
+            out_dir = args.out or workspace.repro_dir
+        else:
+            if not args.target:
+                print("error: give a target name or --workspace DIR",
+                      file=sys.stderr)
+                return 2
+            spec = get_target(args.target)
+            result = run_campaign("peach-star", spec, seed=args.seed,
+                                  config=_config(args))
+            crashes = result.unique_crashes
+            out_dir = args.out or f"peachstar-triage-{spec.name}"
+    except WorkspaceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not crashes:
+        print(f"no crashes to triage on {spec.name}")
+        return 0
+    report = triage_reports(
+        spec, crashes, minimize=not args.no_minimize,
+        max_executions_per_crash=args.max_triage_execs, out_dir=out_dir,
+        coverage_backend=backend)
+    print(render_triage_table(report))
+    if args.verbose:
+        for crash in report.crashes:
             print()
+            print(crash.final_report.render())
     return 0
 
 
@@ -140,7 +215,35 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=("peach", "peach-star"))
     fuzz.add_argument("--verbose", action="store_true",
                       help="print full crash reports")
+    fuzz.add_argument("--workspace", default=None, metavar="DIR",
+                      help="persist the campaign to DIR (resumable)")
     _add_budget_args(fuzz)
+
+    resume = sub.add_parser(
+        "resume", help="continue a persisted campaign from its checkpoint")
+    resume.add_argument("workspace", help="campaign workspace directory")
+    resume.add_argument("--verbose", action="store_true",
+                        help="print full crash reports")
+
+    triage = sub.add_parser(
+        "triage", help="minimize, bucket and export crash reproducers")
+    triage.add_argument("target", nargs="?", default=None,
+                        help="target to fuzz + triage (omit with "
+                             "--workspace)")
+    triage.add_argument("--workspace", default=None, metavar="DIR",
+                        help="triage the crashes persisted in DIR instead "
+                             "of running a fresh campaign")
+    triage.add_argument("--out", default=None, metavar="DIR",
+                        help="reproducer output directory (default: "
+                             "<workspace>/repro or ./peachstar-triage-"
+                             "<target>)")
+    triage.add_argument("--no-minimize", action="store_true",
+                        help="skip test-case minimization")
+    triage.add_argument("--max-triage-execs", type=int, default=3000,
+                        help="sanitizer-execution budget per crash")
+    triage.add_argument("--verbose", action="store_true",
+                        help="print the (minimized) crash reports")
+    _add_budget_args(triage)
 
     comp = sub.add_parser("compare", help="Peach vs Peach* on one target")
     comp.add_argument("target")
@@ -165,6 +268,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "targets": cmd_targets,
         "fuzz": cmd_fuzz,
+        "resume": cmd_resume,
+        "triage": cmd_triage,
         "compare": cmd_compare,
         "crack": cmd_crack,
         "table1": cmd_table1,

@@ -12,8 +12,9 @@ Components map 1:1 to the paper's Fig. 3:
 
 from repro.core.campaign import (
     CampaignConfig, CampaignResult, CampaignTask, average_paths_at,
-    average_series, default_campaign_policy, default_worker_count,
-    make_engine, run_campaign, run_campaign_batch, run_repetitions,
+    average_series, config_from_dict, config_to_dict,
+    default_campaign_policy, default_worker_count, make_engine,
+    resume_campaign, run_campaign, run_campaign_batch, run_repetitions,
     run_repetitions_parallel,
 )
 from repro.core.corpus import PuzzleCorpus
@@ -34,8 +35,9 @@ __all__ = [
     "EngineStats", "FileCracker", "GenerationFuzzer", "IterationOutcome",
     "PeachStar", "PuzzleCorpus", "SeedPool", "SemanticGenerator",
     "ValuableSeed", "average_paths_at", "average_series", "bugs_found",
-    "compare", "default_campaign_policy", "default_worker_count",
-    "integrity_ok", "make_engine", "path_increase_pct", "repair",
+    "compare", "config_from_dict", "config_to_dict",
+    "default_campaign_policy", "default_worker_count", "integrity_ok",
+    "make_engine", "path_increase_pct", "repair", "resume_campaign",
     "run_campaign", "run_campaign_batch", "run_repetitions",
     "run_repetitions_parallel", "speedup_to_reference", "time_to_bugs",
 ]

@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 import random
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.engine import GenerationFuzzer, PeachStar
@@ -22,6 +22,7 @@ from repro.runtime.clock import SimulatedClock
 from repro.runtime.instrument import make_line_collector
 from repro.runtime.target import Target
 from repro.sanitizer.report import CrashReport
+from repro.store.workspace import CampaignWorkspace
 
 
 @dataclass
@@ -38,6 +39,9 @@ class CampaignResult:
     unique_crashes: List[CrashReport]
     crash_times: Dict[Tuple[str, str], float]  # dedup key -> sim hours
     stats: dict
+    #: per-valuable-seed bucketed path identities, discovery order (used
+    #: by the resume-determinism gate and the triage/analysis layers)
+    path_hashes: Tuple[int, ...] = ()
 
     def paths_at(self, hours: float) -> int:
         """Paths covered at simulated time *hours* (step interpolation)."""
@@ -85,6 +89,28 @@ class CampaignConfig:
     hang_budget: int = 120_000
     #: line-coverage backend: "auto" | "monitoring" | "settrace"
     coverage_backend: str = "auto"
+    #: directory to persist the campaign into (None = in-memory only).
+    #: One workspace per campaign: batch tasks must not share one.
+    workspace: Optional[str] = None
+    #: checkpoint the full engine state every N executions
+    checkpoint_every: int = 200
+
+
+def config_to_dict(config: CampaignConfig) -> dict:
+    """JSON-safe snapshot of a campaign config (workspace manifests).
+
+    ``asdict`` already recurses into the nested :class:`GenerationPolicy`.
+    """
+    return asdict(config)
+
+
+def config_from_dict(blob: dict) -> CampaignConfig:
+    """Inverse of :func:`config_to_dict` (tolerates added fields)."""
+    known = {f.name for f in CampaignConfig.__dataclass_fields__.values()}
+    kwargs = {key: value for key, value in blob.items() if key in known}
+    if kwargs.get("policy") is not None:
+        kwargs["policy"] = GenerationPolicy(**kwargs["policy"])
+    return CampaignConfig(**kwargs)
 
 
 def make_engine(engine_name: str, target_spec, seed: int,
@@ -118,31 +144,47 @@ def make_engine(engine_name: str, target_spec, seed: int,
                      "choices: peach, peach-star")
 
 
-def run_campaign(engine_name: str, target_spec, seed: int = 0,
-                 config: Optional[CampaignConfig] = None,
-                 engine: Optional[GenerationFuzzer] = None) -> CampaignResult:
-    """Run one budgeted campaign and collect its result.
+def _drive_campaign(engine_name: str, target_spec, seed: int,
+                    engine: GenerationFuzzer, config: CampaignConfig,
+                    workspace: Optional[CampaignWorkspace],
+                    series: List[Tuple[float, int]],
+                    crash_times: Dict[Tuple[str, str], float],
+                    stop_after_executions: Optional[int],
+                    ) -> Optional[CampaignResult]:
+    """The budgeted fuzzing loop, shared by fresh runs and resumes.
 
-    *engine* injects a pre-built (possibly re-instrumented) engine; the
-    equivalence tests use this to drive the dense reference coverage
-    implementation through an otherwise identical campaign.
+    Returns ``None`` when *stop_after_executions* fires: that path
+    simulates a SIGKILL — the loop abandons the campaign without a final
+    checkpoint, exactly the state a killed process leaves behind, and
+    :func:`resume_campaign` must carry on from the last checkpoint.
     """
-    config = config if config is not None else CampaignConfig()
-    if engine is None:
-        engine = make_engine(engine_name, target_spec, seed, config)
     budget_ms = config.budget_hours * 3_600_000.0
-    series: List[Tuple[float, int]] = [(0.0, 0)]
-    crash_times: Dict[Tuple[str, str], float] = {}
     while engine.clock.now_ms < budget_ms and \
             engine.stats.executions < config.max_executions:
         outcome = engine.iterate()
+        executions = engine.stats.executions
         if outcome.new_unique_crash:
             key = outcome.result.crash.dedup_key
             crash_times[key] = engine.clock.hours
-        if engine.stats.executions % config.record_every == 0:
+            if workspace is not None:
+                workspace.record_crash(outcome.result.crash,
+                                       engine.clock.hours)
+        if workspace is not None and outcome.valuable:
+            workspace.record_seed(engine.seed_pool.seeds[-1],
+                                  engine.target.collector.map)
+        if executions % config.record_every == 0:
             series.append((engine.clock.hours, engine.path_count))
+            if workspace is not None:
+                workspace.record_sample(executions, engine.clock.hours,
+                                        engine.path_count)
+        if workspace is not None and \
+                executions % config.checkpoint_every == 0:
+            workspace.checkpoint(engine)
+        if stop_after_executions is not None and \
+                executions >= stop_after_executions:
+            return None
     series.append((engine.clock.hours, engine.path_count))
-    return CampaignResult(
+    result = CampaignResult(
         engine_name=engine_name,
         target_name=target_spec.name,
         seed=seed,
@@ -153,7 +195,83 @@ def run_campaign(engine_name: str, target_spec, seed: int = 0,
         unique_crashes=engine.crashes.unique_reports(),
         crash_times=crash_times,
         stats=engine.stats.as_dict(),
+        path_hashes=tuple(s.path_hash for s in engine.seed_pool.seeds),
     )
+    if workspace is not None:
+        workspace.checkpoint(engine)
+        workspace.finalize({
+            "engine": result.engine_name,
+            "target": result.target_name,
+            "seed": result.seed,
+            "executions": result.executions,
+            "final_paths": result.final_paths,
+            "final_edges": result.final_edges,
+            "unique_crashes": len(result.unique_crashes),
+            "stats": result.stats,
+        })
+    return result
+
+
+def run_campaign(engine_name: str, target_spec, seed: int = 0,
+                 config: Optional[CampaignConfig] = None,
+                 engine: Optional[GenerationFuzzer] = None,
+                 stop_after_executions: Optional[int] = None
+                 ) -> Optional[CampaignResult]:
+    """Run one budgeted campaign and collect its result.
+
+    *engine* injects a pre-built (possibly re-instrumented) engine; the
+    equivalence tests use this to drive the dense reference coverage
+    implementation through an otherwise identical campaign.
+
+    With ``config.workspace`` set, the campaign persists itself to that
+    directory as it runs (seed corpus, crashes, coverage/series
+    journals, periodic state checkpoints) and a killed run can be
+    continued with :func:`resume_campaign`.  *stop_after_executions*
+    simulates the kill (stop without finalizing; returns ``None``).
+    """
+    config = config if config is not None else CampaignConfig()
+    if engine is None:
+        engine = make_engine(engine_name, target_spec, seed, config)
+    workspace = None
+    if config.workspace:
+        workspace = CampaignWorkspace(config.workspace)
+        workspace.initialize(engine_name, target_spec.name, seed,
+                             config_to_dict(config))
+        workspace.record_sample(0, 0.0, 0)
+        workspace.checkpoint(engine)
+    series: List[Tuple[float, int]] = [(0.0, 0)]
+    crash_times: Dict[Tuple[str, str], float] = {}
+    return _drive_campaign(engine_name, target_spec, seed, engine, config,
+                           workspace, series, crash_times,
+                           stop_after_executions)
+
+
+def resume_campaign(workspace_dir: str, *,
+                    stop_after_executions: Optional[int] = None
+                    ) -> Optional[CampaignResult]:
+    """Continue a persisted campaign from its last checkpoint.
+
+    The engine is rebuilt from the workspace manifest, rewound to the
+    checkpointed RNG/clock/corpus state, and driven to the end of the
+    original budget.  Thanks to the deterministic clock and seeded RNG
+    the finished campaign is bit-identical — same paths, path-hash set,
+    unique crashes, series and stats — to one that was never killed.
+    Resuming an already-finished campaign recomputes (and returns) the
+    same final result.
+    """
+    from repro.protocols import get_target
+
+    workspace = CampaignWorkspace(workspace_dir)
+    manifest = workspace.load_manifest()
+    config = config_from_dict(manifest["config"])
+    config.workspace = workspace.root
+    target_spec = get_target(manifest["target"])
+    engine = make_engine(manifest["engine"], target_spec,
+                         manifest["seed"], config)
+    series, crash_times = workspace.restore(engine)
+    return _drive_campaign(manifest["engine"], target_spec,
+                           manifest["seed"], engine, config, workspace,
+                           series, crash_times, stop_after_executions)
 
 
 def run_repetitions(engine_name: str, target_spec, *, repetitions: int,

@@ -121,7 +121,8 @@ class GenerationFuzzer:
                                    result=result, semantic=semantic)
         if result.crash is not None:
             self.stats.crashes_total += 1
-            outcome.new_unique_crash = self.crashes.add(result.crash)
+            outcome.new_unique_crash = self.crashes.add(
+                result.crash, self.clock.hours)
         if result.hang:
             self.stats.hangs += 1
         # Crashing/hanging packets go to the crash set (C7), not the seed

@@ -19,7 +19,7 @@ from repro.model.fields import Choice, Field, ParseError, Repeat
 from repro.model.instree import InsTree
 
 
-class _TreeEchoProvider(ValueProvider):
+class TreeEchoProvider(ValueProvider):
     """Rebuilds a model from a (possibly inconsistent) parsed tree,
     letting build's relation/fixup passes overwrite the broken carriers."""
 
@@ -58,7 +58,7 @@ def repair(model: DataModel, packet: bytes) -> Optional[bytes]:
         tree = model.parse(packet)
     except ParseError:
         return None
-    rebuilt = model.build(_TreeEchoProvider(tree))
+    rebuilt = model.build(TreeEchoProvider(tree))
     return model.to_wire(rebuilt)
 
 

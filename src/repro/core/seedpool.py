@@ -26,6 +26,9 @@ class ValuableSeed:
     execution_index: int
     sim_time_ms: float
     edges_touched: int
+    #: bucketed path identity of the discovering execution; persisted by
+    #: the campaign workspace and pinned by the resume-determinism tests
+    path_hash: int = 0
 
 
 class SeedPool:
@@ -56,6 +59,7 @@ class SeedPool:
             execution_index=execution_index,
             sim_time_ms=sim_time_ms,
             edges_touched=coverage_map.edge_count(),
+            path_hash=coverage_map.path_hash(),
         )
         self.seeds.append(seed)
         return seed

@@ -73,14 +73,17 @@ class Transformer:
 class _ParseState:
     """Mutable cursor shared across the recursive parse."""
 
-    __slots__ = ("data", "extents", "counts")
+    __slots__ = ("data", "extents", "counts", "strict")
 
-    def __init__(self, data: bytes):
+    def __init__(self, data: bytes, strict: bool = True):
         self.data = data
         # target field name -> byte extent announced by a SizeOf carrier
         self.extents: Dict[str, int] = {}
         # target field name -> element count announced by a CountOf carrier
         self.counts: Dict[str, int] = {}
+        # False = tolerate leaf constraint violations (triage shrinking
+        # needs trees for crashing mutants whose *values* are illegal)
+        self.strict = strict
 
 
 class DataModel:
@@ -275,16 +278,22 @@ class DataModel:
     # parse (the PARSE of paper Alg. 2)
     # ------------------------------------------------------------------
 
-    def parse(self, data: bytes, *, verify_fixups: bool = False) -> InsTree:
+    def parse(self, data: bytes, *, verify_fixups: bool = False,
+              strict: bool = True) -> InsTree:
         """Match *data* against this model, returning its InsTree.
 
         Raises :class:`ParseError` when the bytes are not legal under this
         model (wrong token, constraint violation, length mismatch or
         trailing garbage) — the ``LEGAL`` check of paper Alg. 2.
+
+        ``strict=False`` relaxes the leaf *constraint* checks (value
+        sets, ranges) while keeping structure and token checks: the
+        triage subsystem uses it to crack crashing mutants whose illegal
+        field values are exactly why they crash.
         """
         if self.transformer is not None:
             data = self.transformer.decode(data)
-        state = _ParseState(data)
+        state = _ParseState(data, strict=strict)
         node, pos = self._parse_node(self.root, state, 0, len(data))
         if pos != len(data):
             raise ParseError(
@@ -343,7 +352,7 @@ class DataModel:
             raise ParseError(
                 f"{field.name}: token mismatch ({value!r} != "
                 f"{field.default_value()!r})")
-        if not field.validate(value):
+        if state.strict and not field.validate(value):
             raise ParseError(f"{field.name}: constraint violation ({value!r})")
         self._register_relation(field, value, state)
         return InsNode(field, value=value, raw=raw), pos + width

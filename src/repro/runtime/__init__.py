@@ -5,16 +5,17 @@ from repro.runtime.coverage import (
     BUCKET_LUT, MAP_SIZE, CoverageMap, GlobalCoverage, bucket_count,
 )
 from repro.runtime.instrument import (
-    Collector, ExplicitCollector, HangBudgetExceeded, MonitoringCollector,
-    TracingCollector, make_line_collector, monitoring_available,
-    resolve_backend,
+    CRASH_CONTEXT_DEPTH, Collector, ExplicitCollector, HangBudgetExceeded,
+    MonitoringCollector, TracingCollector, capture_crash_context,
+    make_line_collector, monitoring_available, resolve_backend,
 )
 from repro.runtime.target import ExecResult, ProtocolServer, Target
 
 __all__ = [
-    "BUCKET_LUT", "Collector", "CostModel", "CoverageMap", "ExecResult",
-    "ExplicitCollector", "GlobalCoverage", "HangBudgetExceeded", "MAP_SIZE",
-    "MonitoringCollector", "ProtocolServer", "SimulatedClock", "Target",
-    "TracingCollector", "bucket_count", "make_line_collector",
+    "BUCKET_LUT", "CRASH_CONTEXT_DEPTH", "Collector", "CostModel",
+    "CoverageMap", "ExecResult", "ExplicitCollector", "GlobalCoverage",
+    "HangBudgetExceeded", "MAP_SIZE", "MonitoringCollector",
+    "ProtocolServer", "SimulatedClock", "Target", "TracingCollector",
+    "bucket_count", "capture_crash_context", "make_line_collector",
     "monitoring_available", "resolve_backend",
 ]

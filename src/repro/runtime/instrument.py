@@ -21,6 +21,12 @@ three collectors are provided:
 (``sys.monitoring`` when the interpreter has it, else ``sys.settrace``);
 ``REPRO_COVERAGE_BACKEND=settrace|monitoring`` forces a choice.
 
+The module also provides :func:`capture_crash_context`: the tail of the
+per-execution touched-edge journal at fault time, used by the triage
+subsystem to bucket crashes by the call-site sequence that led to the
+fault (a cheap stand-in for an ASan stack hash — zero cost on the hot
+path because the journal already exists).
+
 Both line collectors key their block-id cache by *code object* and then
 by line number, so the hot callback does two dict probes on interned
 objects instead of allocating a ``(filename, lineno)`` tuple per traced
@@ -79,6 +85,30 @@ def resolve_backend(backend: str = "auto") -> str:
 
 class HangBudgetExceeded(Exception):
     """Raised inside a traced execution that exceeded its block budget."""
+
+
+#: how many trailing journal entries identify a crash context
+CRASH_CONTEXT_DEPTH = 16
+
+
+def capture_crash_context(collector: Optional["Collector"],
+                          depth: int = CRASH_CONTEXT_DEPTH
+                          ) -> Tuple[int, ...]:
+    """The call-site sequence that led into the current fault.
+
+    Returns the last *depth* entries of the execution map's touched-edge
+    journal — the edges first reached immediately before the crash, in
+    reach order.  Valid only between the faulting execution and the next
+    ``begin()``; the campaign captures it while handling the fault.
+    Collectors without a journal (the dense reference map, explicit
+    ``None``) yield an empty context.
+    """
+    if collector is None:
+        return ()
+    journal = getattr(collector.map, "journal", None)
+    if not journal:
+        return ()
+    return tuple(journal[-depth:])
 
 
 class Collector:
@@ -230,17 +260,35 @@ class MonitoringCollector(_LineCollector):
     between backends.  Out-of-scope code locations are DISABLEd at the
     interpreter level after their first event, so steady-state overhead
     is paid only inside the target modules.
+
+    The tool id and the LINE callback stay registered across executions
+    — ``begin``/``end`` merely toggle event delivery for the already-
+    registered tool instead of paying the use_tool_id/register_callback/
+    free_tool_id churn on every run.  (Delivery *is* switched off
+    between executions: in-scope code that runs outside a collection
+    window — wire transformers during generation, codecs during
+    cracking — must neither record nor pay callback overhead, and it
+    can never be DISABLEd.)  DISABLE state survives the toggle, which
+    is the cross-execution perf win.  :meth:`release` fully unwinds the
+    registration when another tool needs the id.
     """
 
     backend_name = "monitoring"
 
     #: scope whose DISABLEd locations currently persist in the
-    #: interpreter.  DISABLE state survives set_events(0)/free_tool_id,
-    #: which is the perf win (out-of-scope code stays silent across
-    #: executions) — but it must be flushed with restart_events() the
-    #: moment a collector with a *different* scope takes over, or that
-    #: collector would be blind to everything its predecessor disabled.
+    #: interpreter.  DISABLE state survives callback swaps, which is the
+    #: perf win (out-of-scope code stays silent across executions) — but
+    #: it must be flushed with restart_events() the moment a collector
+    #: with a *different* scope takes over, or that collector would be
+    #: blind to everything its predecessor disabled.
     _disabled_scope: Optional[Tuple[str, ...]] = None
+
+    #: tool ids claimed by this process, with the LINE callback
+    #: registered; populated lazily on the first begin() per id
+    _armed_tools: set = set()
+    #: the collector whose bound callback is currently registered per
+    #: tool id (re-registration only happens when the collector changes)
+    _callback_owner: Dict[int, "MonitoringCollector"] = {}
 
     def __init__(self, module_prefixes: Iterable[str],
                  coverage_map: Optional[CoverageMap] = None,
@@ -259,29 +307,55 @@ class MonitoringCollector(_LineCollector):
     def begin(self) -> None:
         super().begin()
         mon = _MONITORING
-        try:
-            mon.use_tool_id(self._tool_id, "repro-coverage")
-        except ValueError as exc:
-            raise RuntimeError(
-                f"sys.monitoring tool id {self._tool_id} is held by "
-                f"{mon.get_tool(self._tool_id)!r}; force the settrace "
-                "backend (REPRO_COVERAGE_BACKEND=settrace)") from exc
-        if MonitoringCollector._disabled_scope != self.module_prefixes:
-            if MonitoringCollector._disabled_scope is not None:
+        cls = MonitoringCollector
+        if self._tool_id not in cls._armed_tools:
+            try:
+                mon.use_tool_id(self._tool_id, "repro-coverage")
+            except ValueError as exc:
+                raise RuntimeError(
+                    f"sys.monitoring tool id {self._tool_id} is held by "
+                    f"{mon.get_tool(self._tool_id)!r}; force the settrace "
+                    "backend (REPRO_COVERAGE_BACKEND=settrace)") from exc
+            cls._armed_tools.add(self._tool_id)
+        if cls._disabled_scope != self.module_prefixes:
+            if cls._disabled_scope is not None:
                 mon.restart_events()
-            MonitoringCollector._disabled_scope = self.module_prefixes
-        mon.register_callback(self._tool_id, mon.events.LINE, self._on_line)
+            cls._disabled_scope = self.module_prefixes
+        if cls._callback_owner.get(self._tool_id) is not self:
+            mon.register_callback(self._tool_id, mon.events.LINE,
+                                  self._on_line)
+            cls._callback_owner[self._tool_id] = self
         mon.set_events(self._tool_id, mon.events.LINE)
         self._active = True
 
     def end(self) -> None:
         if not self._active:
             return
-        mon = _MONITORING
-        mon.set_events(self._tool_id, 0)
-        mon.register_callback(self._tool_id, mon.events.LINE, None)
-        mon.free_tool_id(self._tool_id)
+        # keep the tool id + callback registered; just stop delivery so
+        # nothing fires (or records) between executions
+        _MONITORING.set_events(self._tool_id, 0)
         self._active = False
+
+    @classmethod
+    def release(cls) -> None:
+        """Fully unwind: disable events, free every claimed tool id.
+
+        For handing the COVERAGE_ID back to other tooling (coverage.py,
+        debuggers) and for test isolation; normal campaigns never need
+        it.
+        """
+        if _MONITORING is None:
+            return
+        for tool_id in sorted(cls._armed_tools):
+            _MONITORING.set_events(tool_id, 0)
+            _MONITORING.register_callback(tool_id,
+                                          _MONITORING.events.LINE, None)
+            _MONITORING.free_tool_id(tool_id)
+        if cls._armed_tools and cls._disabled_scope is not None:
+            _MONITORING.restart_events()
+        cls._armed_tools.clear()
+        cls._callback_owner.clear()
+        cls._disabled_scope = None
 
     def _on_line(self, code, lineno: int):
         if not self._file_matches(code.co_filename):

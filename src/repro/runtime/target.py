@@ -14,7 +14,9 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.runtime.coverage import CoverageMap
-from repro.runtime.instrument import Collector, HangBudgetExceeded
+from repro.runtime.instrument import (
+    Collector, HangBudgetExceeded, capture_crash_context,
+)
 from repro.sanitizer.errors import MemoryFault
 from repro.sanitizer.heap import SimHeap
 from repro.sanitizer.report import CrashReport, report_from_fault
@@ -100,7 +102,8 @@ class Target:
             return None, False, response
         except MemoryFault as fault:
             report = report_from_fault(
-                fault, packet, model_name, self.executions)
+                fault, packet, model_name, self.executions,
+                call_sites=capture_crash_context(self.collector))
             return report, False, None
         except HangBudgetExceeded:
             return None, True, None

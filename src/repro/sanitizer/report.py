@@ -4,15 +4,26 @@ The paper's Listing 2 shows the AddressSanitizer SUMMARY line used to
 triage the lib60870 SEGV; :func:`format_report` renders our simulated
 faults in the same shape, and :class:`CrashDatabase` deduplicates by
 ``(kind, site)`` the way the paper counts "unique bugs".
+
+Beyond the paper, each report can carry the *call-site sequence* that
+led into the fault (the tail of the instrumentation journal, captured by
+the target harness); ``bucket_key`` folds it into a finer-grained bucket
+identity used by the triage subsystem, while ``dedup_key`` keeps the
+paper's coarse ``(kind, site)`` accounting intact.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.sanitizer.errors import MemoryFault
-from repro.util import hexdump
+from repro.util import fnv1a32_fold, hexdump
+
+
+def context_hash(call_sites: Tuple[int, ...]) -> int:
+    """Order-sensitive 32-bit FNV-1a fold of a call-site sequence."""
+    return fnv1a32_fold(call_sites)
 
 
 @dataclass
@@ -25,10 +36,25 @@ class CrashReport:
     packet: bytes
     model_name: Optional[str] = None
     execution_index: int = 0
+    #: tail of the touched-edge journal at fault time (triage bucketing);
+    #: empty when the execution was uninstrumented
+    call_sites: Tuple[int, ...] = field(default=())
 
     @property
     def dedup_key(self) -> tuple:
         return (self.kind, self.site)
+
+    @property
+    def context_hash(self) -> int:
+        """32-bit hash of the call-site sequence (0 when uninstrumented)."""
+        if not self.call_sites:
+            return 0
+        return context_hash(self.call_sites)
+
+    @property
+    def bucket_key(self) -> tuple:
+        """Triage bucket identity: dedup key refined by crash context."""
+        return (self.kind, self.site, self.context_hash)
 
     def summary_line(self) -> str:
         """The ASan SUMMARY-style one-liner."""
@@ -51,7 +77,8 @@ class CrashReport:
 
 def report_from_fault(fault: MemoryFault, packet: bytes,
                       model_name: Optional[str] = None,
-                      execution_index: int = 0) -> CrashReport:
+                      execution_index: int = 0,
+                      call_sites: Tuple[int, ...] = ()) -> CrashReport:
     """Build a :class:`CrashReport` from a raised memory fault."""
     return CrashReport(
         kind=fault.kind,
@@ -60,24 +87,72 @@ def report_from_fault(fault: MemoryFault, packet: bytes,
         packet=packet,
         model_name=model_name,
         execution_index=execution_index,
+        call_sites=tuple(call_sites),
     )
 
 
 class CrashDatabase:
-    """Deduplicated store of crashes found during a campaign (the C7 set)."""
+    """Deduplicated store of crashes found during a campaign (the C7 set).
+
+    Beyond membership, the database tracks *when* each unique bug was
+    first seen (simulated hours).  Re-observations never displace the
+    stored report, except when they carry an **earlier** timestamp or
+    execution index — which happens when results from parallel shards are
+    merged in arbitrary order — in which case the earliest observation
+    wins, keeping time-to-bug statistics order-independent.
+    """
 
     def __init__(self):
         self._unique: Dict[tuple, CrashReport] = {}
+        #: dedup key -> earliest simulated hours the bug was observed
+        self.first_seen: Dict[tuple, float] = {}
         self.total_crashes = 0
 
-    def add(self, report: CrashReport) -> bool:
-        """Record a crash; return True when it is a *new* unique bug."""
+    def add(self, report: CrashReport,
+            sim_hours: Optional[float] = None) -> bool:
+        """Record a crash; return True when it is a *new* unique bug.
+
+        *sim_hours* (when known) feeds the earliest-observation ledger; a
+        duplicate with an earlier time than the stored one rewinds
+        ``first_seen`` and takes over as the representative report.
+        """
         self.total_crashes += 1
         key = report.dedup_key
-        if key in self._unique:
-            return False
-        self._unique[key] = report
-        return True
+        if key not in self._unique:
+            self._unique[key] = report
+            if sim_hours is not None:
+                self.first_seen[key] = sim_hours
+            return True
+        if sim_hours is not None:
+            known = self.first_seen.get(key)
+            if known is None:
+                # the stored report predates the ledger: record the time
+                # but keep whichever observation came first
+                self.first_seen[key] = sim_hours
+                if report.execution_index < \
+                        self._unique[key].execution_index:
+                    self._unique[key] = report
+            elif sim_hours < known:
+                self.first_seen[key] = sim_hours
+                self._unique[key] = report
+        elif report.execution_index < self._unique[key].execution_index:
+            self._unique[key] = report
+        return False
+
+    def merge(self, other: "CrashDatabase") -> int:
+        """Fold another shard's database in; returns newly-unique count.
+
+        Earliest observation wins on collisions regardless of merge
+        order, fixing the parallel-merge timestamp hazard.
+        """
+        new_bugs = 0
+        for key, report in other._unique.items():
+            if self.add(report, other.first_seen.get(key)):
+                new_bugs += 1
+        # add() counted each unique report once; fold in the remainder of
+        # the shard's raw crash total so totals stay exact
+        self.total_crashes += other.total_crashes - len(other._unique)
+        return new_bugs
 
     def unique_reports(self) -> List[CrashReport]:
         return list(self._unique.values())

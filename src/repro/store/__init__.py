@@ -1,0 +1,15 @@
+"""Persistent campaign state: on-disk workspaces for resumable fuzzing.
+
+The paper's campaigns are one-shot, in-memory affairs; the production
+north star (long-running services, many scenarios) needs campaigns that
+survive their process.  :class:`CampaignWorkspace` persists a running
+campaign — seed corpus, crash inputs, sparse coverage journal, stats
+series, config and RNG snapshots — so ``peachstar resume <dir>``
+continues a killed campaign bit-identically.
+"""
+
+from repro.store.workspace import (
+    STATE_FORMAT, CampaignWorkspace, WorkspaceError,
+)
+
+__all__ = ["STATE_FORMAT", "CampaignWorkspace", "WorkspaceError"]

@@ -1,0 +1,508 @@
+"""CampaignWorkspace: everything a campaign needs to survive its process.
+
+Layout of a workspace directory::
+
+    <root>/
+      config.json     campaign manifest: engine, target, seed, config
+      state.json      atomic checkpoint (RNG/clock/corpus/stats snapshot)
+      corpus/         one <exec>.bin + <exec>.json per valuable seed
+      crashes/        one <slug>.bin + <slug>.json per unique crash
+      coverage.jsonl  sparse coverage journal, one line per valuable seed
+      series.jsonl    paths-over-time samples (the Fig. 4 series)
+      result.json     final summary, written when the campaign completes
+      repro/          triage output (minimized reproducers), if any
+
+``state.json`` is the recovery point: it is rewritten atomically (tmp +
+rename) every ``checkpoint_every`` executions and captures *all* mutable
+engine state — main and corpus RNG states, the simulated clock, engine
+stats, the puzzle-corpus store (order-preserving: donor sampling and
+eviction tie-breaks are order-sensitive), cracker counters and the
+pending semantic queue.  The append-only files (corpus, crashes,
+coverage/series journals) may run ahead of the last checkpoint when the
+process is killed; :meth:`CampaignWorkspace.restore` prunes them back to
+the checkpoint and the resumed campaign deterministically regenerates
+the pruned tail, which is why a killed-and-resumed campaign finishes
+bit-identical to an uninterrupted one.
+
+This module deliberately imports nothing from :mod:`repro.core` at
+module level (the campaign driver imports it); engine classes are only
+touched through attributes and late imports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.model.datamodel import ValueProvider
+from repro.model.fields import Choice, Repeat
+from repro.model.instree import InsNode
+from repro.runtime.coverage import BUCKET_LUT
+from repro.sanitizer.report import CrashReport
+from repro.util import fs_slug
+
+#: bump when the on-disk layout changes incompatibly
+STATE_FORMAT = 1
+
+
+class WorkspaceError(RuntimeError):
+    """Raised for missing, corrupt or conflicting workspace state."""
+
+
+def _atomic_write(path: str, payload: str) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
+
+
+def _rng_state_to_json(state) -> list:
+    version, internal, gauss = state
+    return [version, list(internal), gauss]
+
+
+def _rng_state_from_json(blob) -> tuple:
+    version, internal, gauss = blob
+    return (version, tuple(internal), gauss)
+
+
+# -- InsTree (de)serialization for the pending semantic queue ---------------
+#
+# Pending entries are always *built* trees (semantic-generation output),
+# so they are exactly reproducible from the build decisions: leaf values
+# plus Choice/Repeat shapes, replayed through ``DataModel.build``.  This
+# keeps state.json pure JSON — no pickle, so resuming a workspace from an
+# untrusted source cannot execute code.
+
+def _value_to_json(value):
+    if isinstance(value, bytes):
+        return {"b": value.hex()}
+    return value
+
+
+def _value_from_json(blob):
+    if isinstance(blob, dict):
+        return bytes.fromhex(blob["b"])
+    return blob
+
+
+def _tree_decisions(node: InsNode, prefix: str, leaves: dict,
+                    choices: dict, repeats: dict) -> None:
+    """Record build decisions, mirroring ``DataModel._build_node`` paths."""
+    path = f"{prefix}.{node.name}" if prefix else node.name
+    field = node.field
+    if node.is_leaf:
+        leaves[path] = _value_to_json(node.value)
+    elif isinstance(field, Choice):
+        chosen = node.children[0].field
+        for index, option in enumerate(field.children()):
+            if option is chosen:
+                choices[path] = index
+                break
+        _tree_decisions(node.children[0], path, leaves, choices, repeats)
+    elif isinstance(field, Repeat):
+        repeats[path] = len(node.children)
+        for index, child in enumerate(node.children):
+            _tree_decisions(child, f"{path}[{index}]", leaves, choices,
+                            repeats)
+    else:
+        for child in node.children:
+            _tree_decisions(child, path, leaves, choices, repeats)
+
+
+class _DecisionProvider(ValueProvider):
+    """Replays recorded build decisions through ``DataModel.build``."""
+
+    def __init__(self, blob: dict):
+        self._leaves = blob["leaves"]
+        self._choices = blob["choices"]
+        self._repeats = blob["repeats"]
+
+    def leaf_value(self, field, path):
+        value = self._leaves.get(path)
+        return _value_from_json(value) if value is not None else None
+
+    def choose_option(self, choice, path):
+        return self._choices.get(path, 0)
+
+    def repeat_count(self, repeat, path):
+        count = self._repeats.get(path)
+        return count if count is not None else max(repeat.min_count, 1)
+
+
+def _pending_to_json(pending) -> list:
+    entries = []
+    for tree, packet, model_name in pending:
+        leaves: dict = {}
+        choices: dict = {}
+        repeats: dict = {}
+        _tree_decisions(tree.root, "", leaves, choices, repeats)
+        entries.append({
+            "model": model_name,
+            "packet": packet.hex(),
+            "leaves": leaves,
+            "choices": choices,
+            "repeats": repeats,
+        })
+    return entries
+
+
+def _pending_from_json(entries: list, pit) -> list:
+    pending = []
+    for blob in entries:
+        model = pit.model(blob["model"])
+        tree = model.build(_DecisionProvider(blob))
+        packet = model.to_wire(tree)
+        if packet != bytes.fromhex(blob["packet"]):
+            raise WorkspaceError(
+                f"pending packet for model {blob['model']!r} did not "
+                "rebuild bit-identically; workspace is corrupt or from "
+                "an incompatible version")
+        pending.append((tree, packet, blob["model"]))
+    return pending
+
+
+class CampaignWorkspace:
+    """On-disk store for one campaign (create fresh, or attach to resume)."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.corpus_dir = os.path.join(self.root, "corpus")
+        self.crashes_dir = os.path.join(self.root, "crashes")
+        self.repro_dir = os.path.join(self.root, "repro")
+        self._config_path = os.path.join(self.root, "config.json")
+        self._state_path = os.path.join(self.root, "state.json")
+        self._coverage_path = os.path.join(self.root, "coverage.jsonl")
+        self._series_path = os.path.join(self.root, "series.jsonl")
+        self._result_path = os.path.join(self.root, "result.json")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def has_state(self) -> bool:
+        return os.path.exists(self._state_path)
+
+    def initialize(self, engine_name: str, target_name: str, seed: int,
+                   config_dict: dict) -> None:
+        """Create a fresh workspace; refuses to clobber an existing one."""
+        if self.has_state:
+            raise WorkspaceError(
+                f"workspace {self.root} already holds campaign state; "
+                "use `peachstar resume` (or a fresh directory) instead")
+        os.makedirs(self.corpus_dir, exist_ok=True)
+        os.makedirs(self.crashes_dir, exist_ok=True)
+        manifest = {
+            "format": STATE_FORMAT,
+            "engine": engine_name,
+            "target": target_name,
+            "seed": seed,
+            "config": config_dict,
+        }
+        _atomic_write(self._config_path,
+                      json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+
+    def load_manifest(self) -> dict:
+        if not os.path.exists(self._config_path):
+            raise WorkspaceError(f"{self.root} is not a campaign workspace "
+                                 "(no config.json)")
+        with open(self._config_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != STATE_FORMAT:
+            raise WorkspaceError(
+                f"workspace format {manifest.get('format')!r} is not "
+                f"supported (expected {STATE_FORMAT})")
+        return manifest
+
+    # ------------------------------------------------------------------
+    # incremental records (append-only; may run ahead of the checkpoint)
+    # ------------------------------------------------------------------
+
+    def record_sample(self, execution: int, hours: float,
+                      paths: int) -> None:
+        with open(self._series_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"exec": execution, "hours": hours,
+                                     "paths": paths}) + "\n")
+
+    def record_seed(self, seed, coverage_map) -> None:
+        """Persist one valuable seed plus its coverage-journal line."""
+        stem = os.path.join(self.corpus_dir,
+                            f"{seed.execution_index:07d}")
+        with open(stem + ".bin", "wb") as handle:
+            handle.write(seed.packet)
+        meta = {
+            "execution_index": seed.execution_index,
+            "model_name": seed.model_name,
+            "sim_time_ms": seed.sim_time_ms,
+            "edges_touched": seed.edges_touched,
+            "path_hash": seed.path_hash,
+        }
+        _atomic_write(stem + ".json",
+                      json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        bucketed = [[index, BUCKET_LUT[count]]
+                    for index, count in coverage_map.iter_hits()]
+        with open(self._coverage_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({
+                "exec": seed.execution_index,
+                "path_hash": seed.path_hash,
+                "map": bucketed,
+            }) + "\n")
+
+    def crash_stem(self, report: CrashReport) -> str:
+        name = fs_slug(f"{report.kind}_{report.site}")
+        return os.path.join(self.crashes_dir, name)
+
+    def record_crash(self, report: CrashReport, hours: float) -> None:
+        """Persist one *new unique* crash input plus its metadata."""
+        stem = self.crash_stem(report)
+        with open(stem + ".bin", "wb") as handle:
+            handle.write(report.packet)
+        meta = {
+            "kind": report.kind,
+            "site": report.site,
+            "detail": report.detail,
+            "model_name": report.model_name,
+            "execution_index": report.execution_index,
+            "hours": hours,
+            "call_sites": list(report.call_sites),
+        }
+        _atomic_write(stem + ".json",
+                      json.dumps(meta, indent=2, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, engine) -> None:
+        """Atomically snapshot every piece of mutable engine state."""
+        state = {
+            "format": STATE_FORMAT,
+            "executions": engine.stats.executions,
+            "target_executions": engine.target.executions,
+            "clock_ms": engine.clock.now_ms,
+            "rng_state": _rng_state_to_json(engine.rng.getstate()),
+            "stats": engine.stats.as_dict(),
+            "edges_seen": engine.seed_pool.coverage.edges_seen,
+        }
+        corpus = getattr(engine, "corpus", None)
+        if corpus is not None:
+            state["puzzle_corpus"] = {
+                "rng_state": _rng_state_to_json(corpus.rng.getstate()),
+                "max_per_rule": corpus.max_per_rule,
+                "total_added": corpus.total_added,
+                "total_reinforced": corpus.total_reinforced,
+                # order matters twice over: donor sampling walks buckets
+                # in insertion order and eviction ties consume RNG per
+                # entry visited, so the snapshot is a list, not a map
+                "store": [[signature, [[puzzle.hex(), count]
+                                       for puzzle, count in bucket.items()]]
+                          for signature, bucket in corpus._store.items()],
+            }
+            state["cracker"] = {
+                "seeds_cracked": engine.cracker.seeds_cracked,
+                "models_matched": engine.cracker.models_matched,
+                "puzzles_deposited": engine.cracker.puzzles_deposited,
+            }
+            state["pending"] = _pending_to_json(engine._pending)
+        _atomic_write(self._state_path,
+                      json.dumps(state, sort_keys=True) + "\n")
+
+    def load_state(self) -> dict:
+        if not self.has_state:
+            raise WorkspaceError(f"{self.root} has no state.json to "
+                                 "resume from")
+        with open(self._state_path, encoding="utf-8") as handle:
+            state = json.load(handle)
+        if state.get("format") != STATE_FORMAT:
+            raise WorkspaceError(
+                f"state format {state.get('format')!r} is not supported "
+                f"(expected {STATE_FORMAT})")
+        return state
+
+    def finalize(self, result_dict: dict) -> None:
+        _atomic_write(self._result_path,
+                      json.dumps(result_dict, indent=2, sort_keys=True)
+                      + "\n")
+
+    def load_result(self) -> Optional[dict]:
+        if not os.path.exists(self._result_path):
+            return None
+        with open(self._result_path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    # ------------------------------------------------------------------
+    # restore
+    # ------------------------------------------------------------------
+
+    def restore(self, engine) -> Tuple[List[Tuple[float, int]],
+                                       Dict[tuple, float]]:
+        """Rewind *engine* to the last checkpoint; returns (series,
+        crash_times).
+
+        Append-only records past the checkpoint are pruned — the resumed
+        loop re-executes that window and regenerates them identically.
+        """
+        from repro.core.seedpool import ValuableSeed  # late: avoid cycle
+
+        state = self.load_state()
+        exec_limit = state["executions"]
+
+        engine.rng.setstate(_rng_state_from_json(state["rng_state"]))
+        engine.clock.now_ms = state["clock_ms"]
+        engine.target.executions = state["target_executions"]
+        for name, value in state["stats"].items():
+            setattr(engine.stats, name, value)
+
+        # -- valuable seeds + global coverage --------------------------------
+        pool = engine.seed_pool
+        for meta in self._load_corpus_entries(exec_limit, prune=True):
+            with open(meta["_bin"], "rb") as handle:
+                packet = handle.read()
+            pool.seeds.append(ValuableSeed(
+                packet=packet,
+                model_name=meta["model_name"],
+                tree=None,  # only consumed at crack time, already done
+                execution_index=meta["execution_index"],
+                sim_time_ms=meta["sim_time_ms"],
+                edges_touched=meta["edges_touched"],
+                path_hash=meta["path_hash"],
+            ))
+        virgin = pool.coverage.virgin
+        for line in self._prune_jsonl(self._coverage_path, exec_limit):
+            for index, bucket in line["map"]:
+                virgin[index] |= bucket
+        pool.coverage.edges_seen = state["edges_seen"]
+
+        # -- crash database ---------------------------------------------------
+        crash_times: Dict[tuple, float] = {}
+        for meta in self._load_crash_entries(exec_limit, prune=True):
+            with open(meta["_bin"], "rb") as handle:
+                packet = handle.read()
+            report = CrashReport(
+                kind=meta["kind"], site=meta["site"], detail=meta["detail"],
+                packet=packet, model_name=meta["model_name"],
+                execution_index=meta["execution_index"],
+                call_sites=tuple(meta["call_sites"]),
+            )
+            engine.crashes.add(report, meta["hours"])
+            crash_times[report.dedup_key] = meta["hours"]
+        engine.crashes.total_crashes = state["stats"]["crashes_total"]
+
+        # -- Peach*-only state -------------------------------------------------
+        corpus = getattr(engine, "corpus", None)
+        if corpus is not None and "puzzle_corpus" in state:
+            snap = state["puzzle_corpus"]
+            corpus.rng.setstate(_rng_state_from_json(snap["rng_state"]))
+            corpus.max_per_rule = snap["max_per_rule"]
+            corpus.total_added = snap["total_added"]
+            corpus.total_reinforced = snap["total_reinforced"]
+            corpus._store = {
+                signature: {bytes.fromhex(puzzle): count
+                            for puzzle, count in bucket}
+                for signature, bucket in snap["store"]
+            }
+            engine.cracker.seeds_cracked = state["cracker"]["seeds_cracked"]
+            engine.cracker.models_matched = state["cracker"]["models_matched"]
+            engine.cracker.puzzles_deposited = \
+                state["cracker"]["puzzles_deposited"]
+            engine.stats.puzzles = corpus.puzzle_count()
+            engine._pending.clear()
+            engine._pending.extend(
+                _pending_from_json(state["pending"], engine.pit))
+
+        series = [(line["hours"], line["paths"])
+                  for line in self._prune_jsonl(self._series_path,
+                                                exec_limit)]
+        return series, crash_times
+
+    # ------------------------------------------------------------------
+    # readers (used by restore, triage and the analysis layer)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _load_entries(directory: str, exec_limit: Optional[int] = None,
+                      prune: bool = False) -> List[dict]:
+        """Metadata (+ ``_bin`` path) of every ``.json``/``.bin`` pair in
+        *directory*, sorted by execution index; entries past *exec_limit*
+        are skipped (and deleted when *prune* — the resumed loop will
+        regenerate them)."""
+        entries = []
+        if not os.path.isdir(directory):
+            return entries
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(directory, name)
+            with open(path, encoding="utf-8") as handle:
+                meta = json.load(handle)
+            meta["_bin"] = path[:-len(".json")] + ".bin"
+            if exec_limit is not None and \
+                    meta["execution_index"] > exec_limit:
+                if prune:
+                    os.unlink(path)
+                    if os.path.exists(meta["_bin"]):
+                        os.unlink(meta["_bin"])
+                continue
+            entries.append(meta)
+        entries.sort(key=lambda meta: meta["execution_index"])
+        return entries
+
+    def _load_corpus_entries(self, exec_limit: Optional[int] = None,
+                             prune: bool = False) -> List[dict]:
+        return self._load_entries(self.corpus_dir, exec_limit, prune)
+
+    def _load_crash_entries(self, exec_limit: Optional[int] = None,
+                            prune: bool = False) -> List[dict]:
+        return self._load_entries(self.crashes_dir, exec_limit, prune)
+
+    def _prune_jsonl(self, path: str, exec_limit: int) -> List[dict]:
+        """Load a journal, drop entries past the checkpoint, rewrite."""
+        if not os.path.exists(path):
+            return []
+        kept: List[dict] = []
+        dropped = False
+        with open(path, encoding="utf-8") as handle:
+            for raw in handle:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                line = json.loads(raw)
+                if line["exec"] > exec_limit:
+                    dropped = True
+                    continue
+                kept.append(line)
+        if dropped:
+            _atomic_write(path,
+                          "".join(json.dumps(line) + "\n" for line in kept))
+        return kept
+
+    def load_crash_reports(self) -> List[CrashReport]:
+        """All persisted unique crashes, in discovery order (for triage)."""
+        reports = []
+        for meta in self._load_crash_entries():
+            with open(meta["_bin"], "rb") as handle:
+                packet = handle.read()
+            reports.append(CrashReport(
+                kind=meta["kind"], site=meta["site"], detail=meta["detail"],
+                packet=packet, model_name=meta["model_name"],
+                execution_index=meta["execution_index"],
+                call_sites=tuple(meta["call_sites"]),
+            ))
+        return reports
+
+    def crash_times(self) -> Dict[tuple, float]:
+        return {(meta["kind"], meta["site"]): meta["hours"]
+                for meta in self._load_crash_entries()}
+
+    def corpus_path_hashes(self) -> List[int]:
+        """path_hash of every persisted valuable seed, discovery order."""
+        return [meta["path_hash"] for meta in self._load_corpus_entries()]
+
+    def corpus_packets(self) -> List[bytes]:
+        packets = []
+        for meta in self._load_corpus_entries():
+            with open(meta["_bin"], "rb") as handle:
+                packets.append(handle.read())
+        return packets

@@ -1,0 +1,106 @@
+"""Crash bucketing and severity classification.
+
+The paper counts unique bugs by ASan-style ``(kind, site)`` dedup.  Two
+distinct bugs can share a summary line — e.g. two packet shapes that
+reach the same checked accessor through different handler paths — so
+triage refines the key with the *call-site-sequence hash*: the tail of
+the instrumentation journal captured at fault time
+(:func:`repro.runtime.instrument.capture_crash_context`).  Severity is
+classified from the fault kind the way security teams rank ASan
+verdicts: lifetime violations (UAF/double-free) and out-of-bounds
+*writes* are treated as exploitable until proven otherwise, wild reads
+as denial-of-service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.sanitizer.report import CrashReport
+from repro.util import fs_slug
+
+#: severity ranks, most severe first (index = sort order)
+SEVERITY_ORDER: Tuple[str, ...] = ("critical", "high", "medium", "low")
+
+_KIND_SEVERITY = {
+    "heap-use-after-free": "critical",
+    "double-free": "critical",
+    "heap-buffer-overflow": "high",
+    "SEGV": "medium",
+    "MEMORY-FAULT": "low",
+}
+
+
+def classify_severity(report: CrashReport) -> str:
+    """Severity rank of one crash report.
+
+    Kind sets the base rank; an out-of-bounds *write* (the detail line
+    records the access direction) escalates a heap-buffer-overflow to
+    critical, since it corrupts neighbouring allocations rather than
+    leaking them.
+    """
+    severity = _KIND_SEVERITY.get(report.kind, "low")
+    if severity == "high" and report.detail.startswith("write"):
+        severity = "critical"
+    return severity
+
+
+def severity_rank(severity: str) -> int:
+    """Sort index for a severity label (unknown labels sort last)."""
+    try:
+        return SEVERITY_ORDER.index(severity)
+    except ValueError:
+        return len(SEVERITY_ORDER)
+
+
+@dataclass
+class CrashBucket:
+    """All observations of one refined crash identity."""
+
+    kind: str
+    site: str
+    context_hash: int
+    severity: str
+    reports: List[CrashReport] = field(default_factory=list)
+
+    @property
+    def key(self) -> tuple:
+        return (self.kind, self.site, self.context_hash)
+
+    @property
+    def representative(self) -> CrashReport:
+        """The earliest observation (lowest execution index)."""
+        return min(self.reports, key=lambda r: r.execution_index)
+
+    @property
+    def count(self) -> int:
+        return len(self.reports)
+
+    def slug(self) -> str:
+        """Filesystem-safe identity used for reproducer artifacts."""
+        return (f"{fs_slug(f'{self.kind}_{self.site}')}"
+                f"_{self.context_hash:08x}")
+
+
+def bucket_crashes(reports: Iterable[CrashReport]
+                   ) -> List[CrashBucket]:
+    """Group reports by refined bucket key, most severe first.
+
+    Within a severity rank, buckets keep discovery order (earliest
+    representative first) so output is stable across runs.
+    """
+    buckets: Dict[tuple, CrashBucket] = {}
+    for report in reports:
+        key = report.bucket_key
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = bucket = CrashBucket(
+                kind=report.kind, site=report.site,
+                context_hash=report.context_hash,
+                severity=classify_severity(report))
+        bucket.reports.append(report)
+    return sorted(buckets.values(),
+                  key=lambda b: (severity_rank(b.severity),
+                                 b.representative.execution_index,
+                                 b.key))

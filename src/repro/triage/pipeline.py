@@ -1,0 +1,100 @@
+"""The triage pipeline: bucket → minimize → export, per unique crash.
+
+Feeds from either a finished :class:`~repro.core.campaign.CampaignResult`
+or a persisted :class:`~repro.store.workspace.CampaignWorkspace`
+(``peachstar triage --workspace``), and produces a
+:class:`TriageReport` the analysis layer renders as a summary table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.sanitizer.report import CrashReport
+from repro.triage.bucket import CrashBucket, bucket_crashes
+from repro.triage.minimize import (
+    CrashChecker, MinimizationResult, minimize_crash,
+)
+from repro.triage.reproducer import export_reproducer
+
+
+@dataclass
+class TriagedCrash:
+    """One unique crash after the full triage pass."""
+
+    bucket: CrashBucket
+    minimization: Optional[MinimizationResult]
+    packet_path: Optional[str] = None
+    script_path: Optional[str] = None
+
+    @property
+    def report(self) -> CrashReport:
+        return self.bucket.representative
+
+    @property
+    def final_packet(self) -> bytes:
+        if self.minimization is not None and self.minimization.confirmed:
+            return self.minimization.minimized
+        return self.report.packet
+
+    @property
+    def final_report(self) -> CrashReport:
+        """The report rendered to the analyst (minimized when possible)."""
+        if self.minimization is not None and \
+                self.minimization.report is not None:
+            return self.minimization.report
+        return self.report
+
+
+@dataclass
+class TriageReport:
+    """Everything ``peachstar triage`` produced for one target."""
+
+    target_name: str
+    crashes: List[TriagedCrash]
+    executions_spent: int
+    out_dir: Optional[str] = None
+
+    @property
+    def minimized_count(self) -> int:
+        return sum(1 for crash in self.crashes
+                   if crash.minimization is not None
+                   and crash.minimization.reduced)
+
+
+def triage_reports(target_spec, reports: Iterable[CrashReport], *,
+                   minimize: bool = True,
+                   max_executions_per_crash: int = 3000,
+                   out_dir: Optional[str] = None,
+                   coverage_backend: str = "auto",
+                   hang_budget: int = 120_000) -> TriageReport:
+    """Run the full triage pass over a set of crash reports.
+
+    Buckets by the refined ``(kind, site, context)`` key, minimizes each
+    bucket's representative input under the sanitizer, and (when
+    *out_dir* is given) exports a standalone reproducer script plus raw
+    packet per bucket.  *coverage_backend*/*hang_budget* mirror the
+    campaign the crashes came from.
+    """
+    checker = CrashChecker(target_spec, hang_budget=hang_budget,
+                           backend=coverage_backend)
+    triaged: List[TriagedCrash] = []
+    for bucket in bucket_crashes(reports):
+        minimization = None
+        if minimize:
+            minimization = minimize_crash(
+                target_spec, bucket.representative,
+                max_executions=max_executions_per_crash, checker=checker)
+        crash = TriagedCrash(bucket=bucket, minimization=minimization)
+        if out_dir is not None:
+            crash.packet_path, crash.script_path = export_reproducer(
+                out_dir, bucket.slug(), target_spec.name,
+                crash.final_report, crash.final_packet)
+        triaged.append(crash)
+    return TriageReport(
+        target_name=target_spec.name,
+        crashes=triaged,
+        executions_spent=checker.executions,
+        out_dir=out_dir,
+    )

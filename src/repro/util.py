@@ -7,6 +7,8 @@ randomized ``hash()``.
 
 from __future__ import annotations
 
+import re
+
 _FNV32_OFFSET = 0x811C9DC5
 _FNV32_PRIME = 0x01000193
 
@@ -26,6 +28,20 @@ def fnv1a32(data: bytes | str) -> int:
     return acc
 
 
+def fnv1a32_fold(values, width: int = 4) -> int:
+    """FNV-1a over a sequence of ints, each folded as *width* LE bytes.
+
+    Used for order-sensitive identity of int sequences (e.g. the
+    call-site context of a crash) without materializing a byte string.
+    """
+    acc = _FNV32_OFFSET
+    for value in values:
+        for shift in range(0, width * 8, 8):
+            acc ^= (value >> shift) & 0xFF
+            acc = (acc * _FNV32_PRIME) & 0xFFFFFFFF
+    return acc
+
+
 def hexdump(data: bytes, width: int = 16) -> str:
     """Render *data* as a classic offset/hex/ascii dump (for crash reports)."""
     lines = []
@@ -35,6 +51,14 @@ def hexdump(data: bytes, width: int = 16) -> str:
         asciipart = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
         lines.append(f"{start:08x}  {hexpart:<{width * 3}} |{asciipart}|")
     return "\n".join(lines)
+
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def fs_slug(text: str) -> str:
+    """Collapse *text* into a filesystem-safe slug (crash/report names)."""
+    return _SLUG_RE.sub("_", text).strip("_")
 
 
 def clamp(value: int, lo: int, hi: int) -> int:

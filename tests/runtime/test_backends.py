@@ -79,7 +79,69 @@ def _run_modbus(collector, packet):
 
 @pytest.mark.skipif(not HAS_MONITORING,
                     reason="sys.monitoring needs CPython 3.12+")
+class TestMonitoringPersistentRegistration:
+    """The tool id and LINE callback survive across executions.
+
+    ``begin``/``end`` only toggle event delivery for the already-
+    registered tool; maps must stay behaviourally identical to per-run
+    re-registration (and to the settrace backend).
+    """
+
+    def teardown_method(self):
+        MonitoringCollector.release()
+
+    def test_tool_id_stays_claimed_between_executions(self):
+        mon = sys.monitoring
+        collector = make_line_collector(PREFIXES, backend="monitoring")
+        _run_modbus(collector, build_read_request(3, 0, 2))
+        # the execution is over, yet the tool id is still ours ...
+        assert mon.get_tool(mon.COVERAGE_ID) == "repro-coverage"
+        # ... and a second execution re-uses it without re-claiming
+        _run_modbus(collector, build_read_request(3, 0, 2))
+        assert mon.get_tool(mon.COVERAGE_ID) == "repro-coverage"
+
+    def test_repeated_executions_produce_identical_maps(self):
+        packet = build_read_request(3, 0, 4)
+        collector = make_line_collector(PREFIXES, backend="monitoring")
+        _run_modbus(collector, packet)
+        first = list(collector.map.iter_hits())
+        _run_modbus(collector, packet)
+        second = list(collector.map.iter_hits())
+        assert first == second
+        reference = make_line_collector(PREFIXES, backend="settrace")
+        _run_modbus(reference, packet)
+        assert second == list(reference.map.iter_hits())
+
+    def test_no_recording_between_executions(self):
+        packet = build_read_request(3, 0, 2)
+        collector = make_line_collector(PREFIXES, backend="monitoring")
+        _run_modbus(collector, packet)
+        baseline = list(collector.map.iter_hits())
+        # in-scope code running OUTSIDE a collection window (tool still
+        # claimed, callback still registered) must not record
+        build_read_request(3, 0, 2)
+        _run_modbus(collector, packet)
+        assert list(collector.map.iter_hits()) == baseline
+
+    def test_release_frees_the_tool_id(self):
+        mon = sys.monitoring
+        collector = make_line_collector(PREFIXES, backend="monitoring")
+        _run_modbus(collector, build_read_request(3, 0, 2))
+        assert mon.get_tool(mon.COVERAGE_ID) == "repro-coverage"
+        MonitoringCollector.release()
+        assert mon.get_tool(mon.COVERAGE_ID) is None
+        # and the backend is immediately reusable after a release
+        again = make_line_collector(PREFIXES, backend="monitoring")
+        _run_modbus(again, build_read_request(3, 0, 2))
+        assert again.map.edge_count() > 10
+
+
+@pytest.mark.skipif(not HAS_MONITORING,
+                    reason="sys.monitoring needs CPython 3.12+")
 class TestMonitoringCollector:
+    def teardown_method(self):
+        MonitoringCollector.release()
+
     def test_traces_target_module_lines(self):
         collector = make_line_collector(PREFIXES, backend="monitoring")
         _run_modbus(collector, build_read_request(3, 0, 2))

@@ -73,3 +73,68 @@ class TestCrashDatabase:
         db.add(CrashReport("SEGV", "a", "first", b"\x01"))
         db.add(CrashReport("SEGV", "a", "second", b"\x02"))
         assert db.unique_reports()[0].detail == "first"
+
+
+class TestCrashTimes:
+    """Earliest-observation semantics of the first_seen ledger."""
+
+    def test_first_seen_recorded_on_new_bug(self):
+        db = CrashDatabase()
+        assert db.add(CrashReport("SEGV", "a", "", b"\x01"), 5.0)
+        assert db.first_seen[("SEGV", "a")] == 5.0
+
+    def test_earlier_reobservation_rewinds_time(self):
+        """Parallel shards merge in arbitrary order: a crash re-observed
+        with an earlier simulated timestamp must keep the earliest."""
+        db = CrashDatabase()
+        db.add(CrashReport("SEGV", "a", "late", b"\x01",
+                           execution_index=900), 5.0)
+        assert not db.add(CrashReport("SEGV", "a", "early", b"\x02",
+                                      execution_index=40), 2.0)
+        assert db.first_seen[("SEGV", "a")] == 2.0
+        # the representative report follows the earliest observation
+        assert db.unique_reports()[0].detail == "early"
+
+    def test_later_reobservation_keeps_original(self):
+        db = CrashDatabase()
+        db.add(CrashReport("SEGV", "a", "early", b"\x01"), 1.5)
+        db.add(CrashReport("SEGV", "a", "late", b"\x02"), 9.0)
+        assert db.first_seen[("SEGV", "a")] == 1.5
+        assert db.unique_reports()[0].detail == "early"
+
+    def test_merge_is_order_independent(self):
+        def shard(hours, detail, extra_dupes=0):
+            db = CrashDatabase()
+            db.add(CrashReport("SEGV", "a", detail, b"\x01"), hours)
+            for _ in range(extra_dupes):
+                db.add(CrashReport("SEGV", "a", detail, b"\x01"),
+                       hours + 1.0)
+            return db
+
+        ab = shard(4.0, "slow", extra_dupes=2)
+        ab.merge(shard(1.0, "fast"))
+        ba = shard(1.0, "fast")
+        ba.merge(shard(4.0, "slow", extra_dupes=2))
+        assert ab.first_seen == ba.first_seen == {("SEGV", "a"): 1.0}
+        assert ab.total_crashes == ba.total_crashes == 4
+        assert ab.unique_reports()[0].detail == "fast"
+        assert ba.unique_reports()[0].detail == "fast"
+
+    def test_merge_counts_new_bugs(self):
+        left = CrashDatabase()
+        left.add(CrashReport("SEGV", "a", "", b""), 1.0)
+        right = CrashDatabase()
+        right.add(CrashReport("SEGV", "a", "", b""), 2.0)
+        right.add(CrashReport("SEGV", "b", "", b""), 3.0)
+        assert left.merge(right) == 1
+        assert left.unique_count() == 2
+        assert left.total_crashes == 3
+
+    def test_timed_duplicate_cannot_displace_earlier_untimed_report(self):
+        db = CrashDatabase()
+        db.add(CrashReport("SEGV", "a", "first", b"\x01",
+                           execution_index=40))
+        assert not db.add(CrashReport("SEGV", "a", "later", b"\x02",
+                                      execution_index=900), 5.0)
+        assert db.first_seen[("SEGV", "a")] == 5.0
+        assert db.unique_reports()[0].detail == "first"

@@ -1,0 +1,16 @@
+"""Shared fixture: one real crashing campaign, harvested once."""
+
+import pytest
+
+from repro.core import CampaignConfig, run_campaign
+from repro.protocols import get_target
+
+
+@pytest.fixture(scope="session")
+def lib60870_crashes():
+    """Unique crash reports from a budget lib60870 Peach* campaign."""
+    spec = get_target("lib60870")
+    result = run_campaign("peach-star", spec, seed=7,
+                          config=CampaignConfig(budget_hours=24.0))
+    assert result.unique_crashes, "campaign should crash lib60870"
+    return spec, result.unique_crashes

@@ -1,0 +1,85 @@
+"""Crash bucketing, severity classification, call-site contexts."""
+
+from repro.sanitizer.report import CrashReport, context_hash
+from repro.triage import SEVERITY_ORDER, bucket_crashes, classify_severity
+
+
+def _report(kind="SEGV", site="a.c:f", detail="", call_sites=(),
+            execution_index=0):
+    return CrashReport(kind=kind, site=site, detail=detail, packet=b"\x00",
+                       call_sites=tuple(call_sites),
+                       execution_index=execution_index)
+
+
+class TestSeverity:
+    def test_kind_ranking(self):
+        assert classify_severity(_report(kind="heap-use-after-free")) == \
+            "critical"
+        assert classify_severity(_report(kind="double-free")) == "critical"
+        assert classify_severity(
+            _report(kind="heap-buffer-overflow",
+                    detail="read of 4 bytes")) == "high"
+        assert classify_severity(_report(kind="SEGV")) == "medium"
+        assert classify_severity(_report(kind="whatever")) == "low"
+
+    def test_oob_write_escalates_to_critical(self):
+        report = _report(kind="heap-buffer-overflow",
+                         detail="write of 2 bytes at offset 9")
+        assert classify_severity(report) == "critical"
+
+    def test_severity_order_is_exhaustive(self):
+        for report in (_report(kind=k) for k in
+                       ("heap-use-after-free", "heap-buffer-overflow",
+                        "SEGV", "junk")):
+            assert classify_severity(report) in SEVERITY_ORDER
+
+
+class TestContext:
+    def test_context_hash_is_order_sensitive(self):
+        assert context_hash((1, 2, 3)) != context_hash((3, 2, 1))
+
+    def test_report_without_context_hashes_to_zero(self):
+        assert _report().context_hash == 0
+
+    def test_bucket_key_refines_dedup_key(self):
+        a = _report(call_sites=(10, 11, 12))
+        b = _report(call_sites=(99, 98, 97))
+        assert a.dedup_key == b.dedup_key
+        assert a.bucket_key != b.bucket_key
+
+
+class TestBucketing:
+    def test_same_context_groups_together(self):
+        reports = [_report(call_sites=(1, 2), execution_index=i)
+                   for i in range(3)]
+        buckets = bucket_crashes(reports)
+        assert len(buckets) == 1
+        assert buckets[0].count == 3
+        assert buckets[0].representative.execution_index == 0
+
+    def test_distinct_contexts_split_same_site(self):
+        reports = [_report(call_sites=(1, 2)), _report(call_sites=(3, 4))]
+        buckets = bucket_crashes(reports)
+        assert len(buckets) == 2
+        assert {b.key[:2] for b in buckets} == {("SEGV", "a.c:f")}
+
+    def test_most_severe_first(self):
+        reports = [
+            _report(kind="SEGV", site="x.c:r", execution_index=1),
+            _report(kind="heap-use-after-free", site="y.c:u",
+                    execution_index=9),
+            _report(kind="heap-buffer-overflow", site="z.c:o",
+                    detail="read", execution_index=5),
+        ]
+        kinds = [b.kind for b in bucket_crashes(reports)]
+        assert kinds == ["heap-use-after-free", "heap-buffer-overflow",
+                         "SEGV"]
+
+    def test_slug_is_filesystem_safe_and_stable(self):
+        bucket = bucket_crashes([_report(site="cs101_asdu.c:CS101_ASDU"
+                                              "_getCOT",
+                                         call_sites=(7, 8))])[0]
+        slug = bucket.slug()
+        assert slug == bucket.slug()
+        assert "/" not in slug and ":" not in slug
+        assert slug.endswith(f"{bucket.context_hash:08x}")
