@@ -1,16 +1,22 @@
 # One-word entry points for the tier-1 and presubmit commands.
 #
-#   make test   — tier-1: the full suite at the paper's 24h budgets
-#   make smoke  — presubmit: same suite, campaigns compressed to 2
-#                 simulated hours / 1 repetition (claim gates skipped)
-#   make bench  — the evaluation benchmarks only (regenerates BENCH_*.json)
+#   make test        — tier-1: the full suite at the paper's 24h budgets
+#   make smoke       — presubmit: same suite (conformance matrix
+#                      included), campaigns compressed to 2 simulated
+#                      hours / 1 repetition (claim gates skipped)
+#   make bench       — the evaluation benchmarks only (regenerates
+#                      BENCH_*.json)
+#   make test-matrix — the cross-protocol conformance matrix standalone
+#   make fleet-demo  — a small synced 4-shard fleet in /tmp, rendered
+#                      with the per-shard/merged summary table
 
 PY ?= python
 PYTEST_ARGS ?= -x -q
+FLEET_DEMO_DIR ?= /tmp/peachstar-fleet-demo
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench
+.PHONY: test smoke bench test-matrix fleet-demo
 
 test:
 	$(PY) -m pytest $(PYTEST_ARGS)
@@ -20,3 +26,11 @@ smoke:
 
 bench:
 	$(PY) -m pytest benchmarks $(PYTEST_ARGS)
+
+test-matrix:
+	$(PY) -m pytest tests/protocols/test_conformance.py $(PYTEST_ARGS)
+
+fleet-demo:
+	rm -rf $(FLEET_DEMO_DIR)
+	$(PY) -m repro.cli fleet libmodbus --shards 4 --sync-every 100 \
+		--hours 4 --workspace $(FLEET_DEMO_DIR) --jobs 4

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+import tempfile
 import time
 
 import pytest
@@ -27,6 +28,7 @@ from benchmarks.conftest import (
     write_artifact,
 )
 from repro.core.campaign import make_engine, run_campaign
+from repro.core.fleet import run_fleet
 from repro.protocols import TARGET_NAMES, get_target
 from repro.runtime._dense_ref import DenseCoverageMap, DenseGlobalCoverage
 from repro.runtime.instrument import resolve_backend
@@ -41,6 +43,12 @@ HEADLINE_SEED = 500
 REGRESSION_TOLERANCE = 0.25
 #: trajectory entries kept in the artifact (oldest dropped first)
 TRAJECTORY_LIMIT = 20
+#: fleet-vs-serial comparison: shards of the headline campaign.  Sync
+#: is deliberately sparse (AFL syncs far less often than it fuzzes):
+#: each round pays a pool spin-up plus the file-level exchange, so the
+#: cadence dominates fleet wall-clock at benchmark scale.
+FLEET_SHARDS = 3
+FLEET_SYNC_EVERY = 400
 
 _CACHE = {}
 
@@ -108,6 +116,52 @@ def _timed_campaign(engine_name, target_name, seed, dense=False):
     return result.executions / max(elapsed, 1e-9), result, elapsed
 
 
+def _fleet_vs_serial() -> dict:
+    """Paths per wall-clock second: synced fleet vs serial repetitions.
+
+    The same N seeds run twice — once as a corpus-exchanging fleet on N
+    worker processes (checkpointing to a throwaway workspace), once as
+    N plain serial campaigns — and both sides report their merged
+    unique-path yield per second of real time.
+    """
+    spec = get_target(HEADLINE_TARGET)
+    config = bench_config()
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        fleet = run_fleet("peach-star", spec, shards=FLEET_SHARDS,
+                          workspace_dir=os.path.join(tmp, "fleet"),
+                          seed=HEADLINE_SEED, sync_every=FLEET_SYNC_EVERY,
+                          config=config, max_workers=FLEET_SHARDS)
+        fleet_secs = time.perf_counter() - start
+    start = time.perf_counter()
+    serial = [run_campaign("peach-star", spec,
+                           seed=HEADLINE_SEED + 1000 * shard,
+                           config=config)
+              for shard in range(FLEET_SHARDS)]
+    serial_secs = time.perf_counter() - start
+    serial_union = set()
+    for result in serial:
+        serial_union.update(result.path_hashes)
+    fleet_rate = fleet.merged_paths / max(fleet_secs, 1e-9)
+    serial_rate = len(serial_union) / max(serial_secs, 1e-9)
+    return {
+        "target": HEADLINE_TARGET,
+        "engine": "peach-star",
+        "shards": FLEET_SHARDS,
+        "sync_every": FLEET_SYNC_EVERY,
+        "sync_rounds": fleet.rounds,
+        "imported_seeds": fleet.imported_seeds,
+        "fleet_merged_paths": fleet.merged_paths,
+        "serial_union_paths": len(serial_union),
+        "fleet_wall_seconds": round(fleet_secs, 3),
+        "serial_wall_seconds": round(serial_secs, 3),
+        "fleet_paths_per_sec": round(fleet_rate, 2),
+        "serial_paths_per_sec": round(serial_rate, 2),
+        "paths_per_sec_ratio": round(fleet_rate / max(serial_rate, 1e-9),
+                                     2),
+    }
+
+
 def _throughput():
     if "payload" in _CACHE:
         return _CACHE["payload"]
@@ -167,6 +221,7 @@ def _throughput():
             "dense_wall_seconds": round(dense_secs, 3),
             "speedup": round(sparse_rate / max(dense_rate, 1e-9), 2),
         },
+        "fleet_vs_serial": _fleet_vs_serial(),
         "trajectory": _trim_trajectory(prior + [current_entry]),
         "regression": {
             "prior_best_execs_per_sec": prior_best,
@@ -196,11 +251,31 @@ def test_throughput_artifact(benchmark):
                 f"{gate['sparse_execs_per_sec']:.1f} vs "
                 f"{gate['dense_execs_per_sec']:.1f} execs/sec "
                 f"= {gate['speedup']:.2f}x  (backend: {payload['backend']})")
+    fleet = payload["fleet_vs_serial"]
+    rows.append(f"fleet vs serial ({fleet['shards']} shards on "
+                f"{fleet['target']}): "
+                f"{fleet['fleet_paths_per_sec']:.1f} vs "
+                f"{fleet['serial_paths_per_sec']:.1f} paths/sec "
+                f"({fleet['fleet_merged_paths']} vs "
+                f"{fleet['serial_union_paths']} merged paths, "
+                f"{sum(fleet['imported_seeds'])} seeds exchanged)")
     rows.append(f"artifact: {path}")
     print_block("Wall-clock throughput (execs/sec)", "\n".join(rows))
     for engines in payload["targets"].values():
         for row in engines.values():
             assert row["execs_per_sec"] > 0
+
+
+def test_fleet_vs_serial_entry(benchmark):
+    """The fleet comparison is recorded and structurally sane: shards
+    fuzz, sync rounds happen, and the merged view loses nothing."""
+    payload = benchmark.pedantic(_throughput, rounds=1, iterations=1)
+    fleet = payload["fleet_vs_serial"]
+    assert fleet["fleet_merged_paths"] > 0
+    assert fleet["serial_union_paths"] > 0
+    assert fleet["fleet_paths_per_sec"] > 0
+    assert fleet["serial_paths_per_sec"] > 0
+    assert len(fleet["imported_seeds"]) == fleet["shards"]
 
 
 def test_sparse_pipeline_at_least_3x_dense(benchmark):

@@ -5,6 +5,7 @@ from repro.analysis.export import (
     panel_to_markdown, panels_to_markdown, write_campaign_json,
     write_series_csv,
 )
+from repro.analysis.fleet import render_fleet_table
 from repro.analysis.figures import (
     DEFAULT_CHECKPOINTS, Fig4Panel, ascii_chart, render_panel_report,
     run_fig4_panel,
@@ -19,7 +20,7 @@ from repro.analysis.triage import render_triage_table
 __all__ = [
     "BUGGY_TARGETS", "DEFAULT_CHECKPOINTS", "Fig4Panel", "HeadlineReport",
     "PAPER_TABLE1", "Table1Row", "ascii_chart", "expected_counts",
-    "getcot_report", "render_panel_report", "render_table1",
-    "render_triage_table", "run_fig4_panel", "run_headline",
-    "run_table1_row",
+    "getcot_report", "render_fleet_table", "render_panel_report",
+    "render_table1", "render_triage_table", "run_fig4_panel",
+    "run_headline", "run_table1_row",
 ]

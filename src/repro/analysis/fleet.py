@@ -1,0 +1,41 @@
+"""Fleet summary rendering: per-shard and merged paths/crashes.
+
+The operator-facing view of a :class:`~repro.core.fleet.FleetResult`:
+one row per shard (executions, locally-discovered vs imported paths,
+crashes) and the merged fleet-wide totals folded through
+``CrashDatabase.merge``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.fleet import FleetResult
+
+
+def render_fleet_table(fleet: FleetResult) -> str:
+    """One row per shard, then the merged fleet line."""
+    lines: List[str] = [
+        f"FLEET: {fleet.engine_name} on {fleet.target_name} — "
+        f"{fleet.shards} shards, sync every {fleet.sync_every} execs, "
+        f"{fleet.rounds} sync round{'s' if fleet.rounds != 1 else ''}",
+        f"{'shard':>5} {'execs':>7} {'paths':>6} {'imported':>8} "
+        f"{'edges':>6} {'crashes':>7} {'hours':>6}",
+        "-" * 50,
+    ]
+    for shard, result in enumerate(fleet.shard_results):
+        imported = result.stats.get("imported_seeds", 0)
+        hours = result.series[-1][0] if result.series else 0.0
+        lines.append(
+            f"{shard:>5} {result.executions:>7} {result.final_paths:>6} "
+            f"{imported:>8} {result.final_edges:>6} "
+            f"{len(result.unique_crashes):>7} {hours:>6.1f}")
+    lines.append("-" * 50)
+    lines.append(f"merged: {fleet.merged_paths} unique paths, "
+                 f"{fleet.merged_crashes.unique_count()} unique "
+                 f"crash{'es' if fleet.merged_crashes.unique_count() != 1 else ''}")
+    for key, hours in sorted(fleet.time_to_bugs.items(),
+                             key=lambda item: item[1]):
+        kind, site = key
+        lines.append(f"  [{hours:5.1f}h] {kind} {site}")
+    return "\n".join(lines)

@@ -5,7 +5,10 @@ Sub-commands:
 * ``targets`` — list the six protocol targets and their seeded bugs
 * ``fuzz``    — run one campaign (``--engine peach|peach-star``);
   ``--workspace DIR`` persists it so it can be resumed
-* ``resume``  — continue a killed (or finished) persisted campaign
+* ``fleet``   — run N synced shards of one campaign with periodic
+  cross-shard corpus exchange (``--shards``, ``--sync-every``)
+* ``resume``  — continue a killed (or finished) persisted campaign or
+  fleet (detected from the workspace layout)
 * ``triage``  — minimize, bucket and export reproducers for crashes
   (from a fresh campaign or a persisted workspace)
 * ``compare`` — Peach vs Peach* on one target, with the ASCII Fig. 4 panel
@@ -21,17 +24,18 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import (
-    render_panel_report, render_table1, render_triage_table, run_fig4_panel,
-    run_table1_row,
+    render_fleet_table, render_panel_report, render_table1,
+    render_triage_table, run_fig4_panel, run_table1_row,
 )
 from repro.analysis.tables import BUGGY_TARGETS
 from repro.core import (
-    CampaignConfig, PuzzleCorpus, resume_campaign, run_campaign,
+    CampaignConfig, PuzzleCorpus, resume_campaign, resume_fleet,
+    run_campaign, run_fleet,
 )
 from repro.core.cracker import FileCracker
 from repro.model.fields import ParseError
 from repro.protocols import all_targets, get_target
-from repro.store import CampaignWorkspace, WorkspaceError
+from repro.store import CampaignWorkspace, WorkspaceError, is_fleet_workspace
 from repro.triage import triage_reports
 
 
@@ -100,8 +104,36 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    spec = get_target(args.target)
+    try:
+        fleet = run_fleet(args.engine, spec, shards=args.shards,
+                          workspace_dir=args.workspace, seed=args.seed,
+                          sync_every=args.sync_every, config=_config(args),
+                          max_workers=args.jobs)
+    except WorkspaceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_fleet_table(fleet))
+    if args.verbose:
+        for report in fleet.merged_crashes.unique_reports():
+            print()
+            print(report.render())
+    print(f"fleet persisted to {args.workspace} "
+          "(continue with `peachstar resume`)")
+    return 0
+
+
 def cmd_resume(args) -> int:
     try:
+        if is_fleet_workspace(args.workspace):
+            fleet = resume_fleet(args.workspace, max_workers=args.jobs)
+            print(render_fleet_table(fleet))
+            if args.verbose:
+                for report in fleet.merged_crashes.unique_reports():
+                    print()
+                    print(report.render())
+            return 0
         result = resume_campaign(args.workspace)
     except WorkspaceError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -219,11 +251,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="persist the campaign to DIR (resumable)")
     _add_budget_args(fuzz)
 
+    fleet = sub.add_parser(
+        "fleet", help="run N synced shards with corpus exchange")
+    fleet.add_argument("target", help="target name (see `targets`)")
+    fleet.add_argument("--engine", default="peach-star",
+                       choices=("peach", "peach-star"))
+    fleet.add_argument("--shards", type=int, default=4,
+                       help="number of independently-seeded shards")
+    fleet.add_argument("--sync-every", type=int, default=200,
+                       help="executions between corpus-sync rounds")
+    fleet.add_argument("--workspace", required=True, metavar="DIR",
+                       help="fleet workspace directory (resumable)")
+    fleet.add_argument("--verbose", action="store_true",
+                       help="print full crash reports")
+    _add_budget_args(fleet)
+    _add_jobs_arg(fleet)
+
     resume = sub.add_parser(
-        "resume", help="continue a persisted campaign from its checkpoint")
-    resume.add_argument("workspace", help="campaign workspace directory")
+        "resume", help="continue a persisted campaign or fleet from "
+                       "its checkpoints")
+    resume.add_argument("workspace", help="campaign or fleet workspace "
+                                          "directory")
     resume.add_argument("--verbose", action="store_true",
                         help="print full crash reports")
+    _add_jobs_arg(resume)
 
     triage = sub.add_parser(
         "triage", help="minimize, bucket and export crash reproducers")
@@ -268,6 +319,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "targets": cmd_targets,
         "fuzz": cmd_fuzz,
+        "fleet": cmd_fleet,
         "resume": cmd_resume,
         "triage": cmd_triage,
         "compare": cmd_compare,

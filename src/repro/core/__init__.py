@@ -23,21 +23,23 @@ from repro.core.engine import (
     EngineStats, GenerationFuzzer, IterationOutcome, PeachStar,
 )
 from repro.core.fixup_engine import integrity_ok, repair
+from repro.core.fleet import FleetResult, resume_fleet, run_fleet
 from repro.core.seedpool import SeedPool, ValuableSeed
 from repro.core.semantic import SemanticGenerator
 from repro.core.stats import (
-    ComparisonSummary, bugs_found, compare, path_increase_pct,
-    speedup_to_reference, time_to_bugs,
+    ComparisonSummary, bugs_found, compare, merge_crash_reports,
+    path_increase_pct, speedup_to_reference, time_to_bugs,
 )
 
 __all__ = [
     "CampaignConfig", "CampaignResult", "CampaignTask", "ComparisonSummary",
-    "EngineStats", "FileCracker", "GenerationFuzzer", "IterationOutcome",
-    "PeachStar", "PuzzleCorpus", "SeedPool", "SemanticGenerator",
-    "ValuableSeed", "average_paths_at", "average_series", "bugs_found",
-    "compare", "config_from_dict", "config_to_dict",
-    "default_campaign_policy", "default_worker_count", "integrity_ok",
-    "make_engine", "path_increase_pct", "repair", "resume_campaign",
-    "run_campaign", "run_campaign_batch", "run_repetitions",
+    "EngineStats", "FileCracker", "FleetResult", "GenerationFuzzer",
+    "IterationOutcome", "PeachStar", "PuzzleCorpus", "SeedPool",
+    "SemanticGenerator", "ValuableSeed", "average_paths_at",
+    "average_series", "bugs_found", "compare", "config_from_dict",
+    "config_to_dict", "default_campaign_policy", "default_worker_count",
+    "integrity_ok", "make_engine", "merge_crash_reports",
+    "path_increase_pct", "repair", "resume_campaign", "resume_fleet",
+    "run_campaign", "run_campaign_batch", "run_fleet", "run_repetitions",
     "run_repetitions_parallel", "speedup_to_reference", "time_to_bugs",
 ]

@@ -150,6 +150,7 @@ def _drive_campaign(engine_name: str, target_spec, seed: int,
                     series: List[Tuple[float, int]],
                     crash_times: Dict[Tuple[str, str], float],
                     stop_after_executions: Optional[int],
+                    pause_after_executions: Optional[int] = None,
                     ) -> Optional[CampaignResult]:
     """The budgeted fuzzing loop, shared by fresh runs and resumes.
 
@@ -157,10 +158,21 @@ def _drive_campaign(engine_name: str, target_spec, seed: int,
     simulates a SIGKILL — the loop abandons the campaign without a final
     checkpoint, exactly the state a killed process leaves behind, and
     :func:`resume_campaign` must carry on from the last checkpoint.
+
+    *pause_after_executions* is the fleet round boundary: a clean stop —
+    the engine checkpoints and returns ``None``, and the fleet driver
+    resumes the shard after the corpus-sync phase.  Unlike the kill
+    path the check runs *before* each iteration, so re-driving a shard
+    already parked at the boundary is a no-op.
     """
     budget_ms = config.budget_hours * 3_600_000.0
     while engine.clock.now_ms < budget_ms and \
             engine.stats.executions < config.max_executions:
+        if pause_after_executions is not None and \
+                engine.stats.executions >= pause_after_executions:
+            if workspace is not None:
+                workspace.checkpoint(engine)
+            return None
         outcome = engine.iterate()
         executions = engine.stats.executions
         if outcome.new_unique_crash:
@@ -233,17 +245,55 @@ def run_campaign(engine_name: str, target_spec, seed: int = 0,
     if engine is None:
         engine = make_engine(engine_name, target_spec, seed, config)
     workspace = None
+    series: List[Tuple[float, int]] = [(0.0, 0)]
+    crash_times: Dict[Tuple[str, str], float] = {}
     if config.workspace:
         workspace = CampaignWorkspace(config.workspace)
         workspace.initialize(engine_name, target_spec.name, seed,
                              config_to_dict(config))
-        workspace.record_sample(0, 0.0, 0)
-        workspace.checkpoint(engine)
-    series: List[Tuple[float, int]] = [(0.0, 0)]
-    crash_times: Dict[Tuple[str, str], float] = {}
+        series, crash_times = _begin_workspace_records(workspace, engine)
     return _drive_campaign(engine_name, target_spec, seed, engine, config,
                            workspace, series, crash_times,
                            stop_after_executions)
+
+
+def _begin_workspace_records(workspace: CampaignWorkspace, engine
+                             ) -> Tuple[List[Tuple[float, int]],
+                                        Dict[Tuple[str, str], float]]:
+    """The initial records of a fresh persisted campaign.
+
+    One definition for both entry points (run_campaign and the fleet
+    shard driver): the t=0 series sample plus the initial checkpoint,
+    returning the matching in-memory (series, crash_times) seeds.
+    """
+    workspace.record_sample(0, 0.0, 0)
+    workspace.checkpoint(engine)
+    return [(0.0, 0)], {}
+
+
+def rebuild_workspace_engine(workspace: CampaignWorkspace):
+    """Rebuild a persisted campaign's engine from its manifest.
+
+    With checkpointed state the engine is rewound to it; a workspace
+    that was initialized but never driven gets the fresh-start records
+    instead.  Shared by :func:`resume_campaign` and the fleet shard
+    driver (which interposes corpus-sync imports before re-driving the
+    loop).  Returns ``(manifest, config, target_spec, engine, series,
+    crash_times)``.
+    """
+    from repro.protocols import get_target
+
+    manifest = workspace.load_manifest()
+    config = config_from_dict(manifest["config"])
+    config.workspace = workspace.root
+    target_spec = get_target(manifest["target"])
+    engine = make_engine(manifest["engine"], target_spec,
+                         manifest["seed"], config)
+    if workspace.has_state:
+        series, crash_times = workspace.restore(engine)
+    else:
+        series, crash_times = _begin_workspace_records(workspace, engine)
+    return manifest, config, target_spec, engine, series, crash_times
 
 
 def resume_campaign(workspace_dir: str, *,
@@ -259,16 +309,9 @@ def resume_campaign(workspace_dir: str, *,
     Resuming an already-finished campaign recomputes (and returns) the
     same final result.
     """
-    from repro.protocols import get_target
-
     workspace = CampaignWorkspace(workspace_dir)
-    manifest = workspace.load_manifest()
-    config = config_from_dict(manifest["config"])
-    config.workspace = workspace.root
-    target_spec = get_target(manifest["target"])
-    engine = make_engine(manifest["engine"], target_spec,
-                         manifest["seed"], config)
-    series, crash_times = workspace.restore(engine)
+    manifest, config, target_spec, engine, series, crash_times = \
+        rebuild_workspace_engine(workspace)
     return _drive_campaign(manifest["engine"], target_spec,
                            manifest["seed"], engine, config, workspace,
                            series, crash_times, stop_after_executions)

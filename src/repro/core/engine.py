@@ -53,6 +53,9 @@ class EngineStats:
     crashes_total: int = 0
     hangs: int = 0
     puzzles: int = 0
+    #: seeds absorbed from sibling shards during fleet corpus sync (never
+    #: counted as locally-discovered valuable seeds)
+    imported_seeds: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -62,6 +65,7 @@ class EngineStats:
             "crashes_total": self.crashes_total,
             "hangs": self.hangs,
             "puzzles": self.puzzles,
+            "imported_seeds": self.imported_seeds,
         }
 
 

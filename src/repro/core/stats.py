@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.campaign import CampaignResult, average_paths_at
+from repro.sanitizer.report import CrashDatabase, CrashReport
 
 
 @dataclass
@@ -90,15 +91,36 @@ def compare(peach_results: Sequence[CampaignResult],
     )
 
 
+def merge_crash_reports(results: Sequence[CampaignResult]
+                        ) -> CrashDatabase:
+    """Fold parallel results into one :class:`CrashDatabase`.
+
+    Each repetition/shard becomes its own database (reports + first-seen
+    times) and the databases fold through :meth:`CrashDatabase.merge`,
+    so the earliest observation of every unique bug wins no matter what
+    order the parallel results came back in.
+    """
+    merged = CrashDatabase()
+    for result in results:
+        shard = CrashDatabase()
+        for report in result.unique_crashes:
+            shard.add(report, result.crash_times.get(report.dedup_key))
+        for key, when in result.crash_times.items():
+            if key not in shard:  # timed bug without a kept report
+                shard.add(CrashReport(kind=key[0], site=key[1],
+                                      detail="", packet=b""), when)
+        # keep raw totals exact: add() saw only the unique reports
+        raw_total = result.stats.get("crashes_total")
+        if raw_total is not None:
+            shard.total_crashes = raw_total
+        merged.merge(shard)
+    return merged
+
+
 def time_to_bugs(results: Sequence[CampaignResult]
                  ) -> Dict[Tuple[str, str], float]:
     """Earliest simulated hours each unique bug appeared across reps."""
-    earliest: Dict[Tuple[str, str], float] = {}
-    for result in results:
-        for key, when in result.crash_times.items():
-            if key not in earliest or when < earliest[key]:
-                earliest[key] = when
-    return earliest
+    return dict(merge_crash_reports(results).first_seen)
 
 
 def bugs_found(results: Sequence[CampaignResult]) -> Dict[Tuple[str, str], int]:

@@ -69,6 +69,15 @@ class Transformer:
     def decode(self, data: bytes) -> bytes:
         return data
 
+    def decode_lenient(self, data: bytes) -> bytes:
+        """Best-effort decode for the non-strict parse path.
+
+        Transformers whose strict ``decode`` can reject damaged or
+        truncated wire data (e.g. CRC interleaving) override this to
+        salvage what they can instead of raising.
+        """
+        return self.decode(data)
+
 
 class _ParseState:
     """Mutable cursor shared across the recursive parse."""
@@ -289,10 +298,16 @@ class DataModel:
         ``strict=False`` relaxes the leaf *constraint* checks (value
         sets, ranges) while keeping structure and token checks: the
         triage subsystem uses it to crack crashing mutants whose illegal
-        field values are exactly why they crash.
+        field values are exactly why they crash.  Non-strict parsing
+        also tolerates *truncation* — leaves decode whatever bytes
+        remain (:meth:`~repro.model.fields.Field.decode_lenient`),
+        announced extents are clamped to the available data, and greedy
+        repeats stop at the cut — so any truncation of a parseable
+        packet still yields a (normalized) InsTree.
         """
         if self.transformer is not None:
-            data = self.transformer.decode(data)
+            data = self.transformer.decode(data) if strict else \
+                self.transformer.decode_lenient(data)
         state = _ParseState(data, strict=strict)
         node, pos = self._parse_node(self.root, state, 0, len(data))
         if pos != len(data):
@@ -317,8 +332,10 @@ class DataModel:
         extent = state.extents.pop(field.name, None)
         if extent is not None:
             if extent < 0 or pos + extent > end:
-                raise ParseError(
-                    f"{field.name}: announced size {extent} exceeds data")
+                if state.strict:
+                    raise ParseError(
+                        f"{field.name}: announced size {extent} exceeds data")
+                extent = max(0, min(extent, end - pos))  # truncated tail
             end = pos + extent
 
         if field.is_leaf:
@@ -331,9 +348,11 @@ class DataModel:
             node, pos = self._parse_block(field, state, pos, end)
 
         if extent is not None and pos != end:
-            raise ParseError(
-                f"{field.name}: announced size {extent} but consumed "
-                f"{pos - (end - extent)}")
+            if state.strict:
+                raise ParseError(
+                    f"{field.name}: announced size {extent} but consumed "
+                    f"{pos - (end - extent)}")
+            pos = end  # the announced extent owns the unconsumed bytes
         return node, pos
 
     def _parse_leaf(self, field: Field, state: _ParseState, pos: int,
@@ -345,7 +364,14 @@ class DataModel:
                 raise ParseError(
                     f"{field.name}: {width} bytes exceeds max_length")
         if pos + width > end:
-            raise ParseError(f"{field.name}: truncated")
+            if state.strict:
+                raise ParseError(f"{field.name}: truncated")
+            # truncated leaf: decode what remains (tokens unverifiable
+            # on a partial raw are accepted best-effort)
+            raw = state.data[pos:end]
+            value = field.decode_lenient(raw)
+            self._register_relation(field, value, state)
+            return InsNode(field, value=value, raw=raw), end
         raw = state.data[pos:pos + width]
         value = field.decode(raw)
         if field.token and value != field.default_value():
@@ -395,18 +421,32 @@ class DataModel:
         children = []
         if count is not None:
             if count < field.min_count or count > field.max_count:
-                raise ParseError(
-                    f"{field.name}: announced count {count} out of range")
+                if state.strict:
+                    raise ParseError(
+                        f"{field.name}: announced count {count} "
+                        "out of range")
+                count = max(field.min_count,
+                            min(count, field.max_count))
             for _ in range(count):
                 node, pos = self._parse_node(field.element, state, pos, end)
                 children.append(node)
         else:
             while pos < end and len(children) < field.max_count:
-                node, pos = self._parse_node(field.element, state, pos, end)
+                try:
+                    node, newpos = self._parse_node(field.element, state,
+                                                    pos, end)
+                except ParseError:
+                    if state.strict:
+                        raise
+                    break  # a truncated tail that matches no element
+                if newpos == pos and not state.strict:
+                    break  # zero-width element: no progress possible
                 children.append(node)
+                pos = newpos
             if len(children) < field.min_count:
-                raise ParseError(f"{field.name}: fewer than "
-                                 f"{field.min_count} elements")
+                if state.strict:
+                    raise ParseError(f"{field.name}: fewer than "
+                                     f"{field.min_count} elements")
         return InsNode(field, children=children), pos
 
     def _verify_fixups(self, root: InsNode) -> None:

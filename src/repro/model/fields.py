@@ -114,6 +114,18 @@ class Field:
     def decode(self, data: bytes):
         raise NotImplementedError
 
+    def decode_lenient(self, data: bytes):
+        """Best-effort decode of possibly-truncated bytes (never raises).
+
+        The non-strict parse path uses this when the wire data runs out
+        mid-leaf; leaves fall back to their default when even a partial
+        decode is impossible.
+        """
+        try:
+            return self.decode(data)
+        except ParseError:
+            return self.default_value()
+
     def default_value(self):
         raise NotImplementedError
 
@@ -180,6 +192,11 @@ class Number(Field):
                 f"{self.name}: need {self.width} bytes, got {len(data)}")
         return int.from_bytes(data, self.endian, signed=self.signed)
 
+    def decode_lenient(self, data: bytes) -> int:
+        if not data:
+            return self.default
+        return int.from_bytes(data, self.endian, signed=self.signed)
+
     def validate(self, value: int) -> bool:
         if self.values is not None and value not in self.values:
             return False
@@ -225,6 +242,9 @@ class Str(Field):
                 f"{self.name}: need {self.length} bytes, got {len(data)}")
         return data.decode("latin-1")
 
+    def decode_lenient(self, data: bytes) -> str:
+        return data.decode("latin-1")
+
 
 class Blob(Field):
     """Opaque byte field; ``length=None`` means variable-length.
@@ -265,6 +285,9 @@ class Blob(Field):
         if self.length is not None and len(data) != self.length:
             raise ParseError(
                 f"{self.name}: need {self.length} bytes, got {len(data)}")
+        return bytes(data)
+
+    def decode_lenient(self, data: bytes) -> bytes:
         return bytes(data)
 
 

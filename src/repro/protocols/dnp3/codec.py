@@ -114,6 +114,32 @@ def strip_crcs(wire: bytes, *, verify: bool = True) -> bytes:
     return bytes(out)
 
 
+def strip_crcs_lenient(wire: bytes) -> bytes:
+    """Best-effort CRC strip for damaged or truncated frames.
+
+    CRCs are never verified, a partial or missing trailing CRC is
+    dropped, and inputs too short to carry any CRC pass through — the
+    non-strict model parse then makes what it can of the remains.
+    Bit-identical to ``strip_crcs(wire, verify=False)`` on well-formed
+    frames.
+    """
+    if len(wire) <= LINK_HEADER_LEN:
+        return wire
+    out = bytearray(wire[:LINK_HEADER_LEN])
+    pos = LINK_HEADER_LEN + 2  # skip the (possibly partial) header CRC
+    while pos < len(wire):
+        remaining = len(wire) - pos
+        if remaining >= BLOCK_SIZE + 2:
+            out += wire[pos:pos + BLOCK_SIZE]
+            pos += BLOCK_SIZE + 2
+        elif remaining > 2:  # short last block (+ maybe-partial CRC)
+            out += wire[pos:len(wire) - 2]
+            break
+        else:
+            break  # nothing left but a dangling CRC fragment
+    return bytes(out)
+
+
 class Dnp3CrcTransformer(Transformer):
     """Model-layer transformer: logical frame <-> CRC-interleaved wire."""
 
@@ -126,6 +152,9 @@ class Dnp3CrcTransformer(Transformer):
         except FrameError as exc:
             from repro.model import ParseError
             raise ParseError(str(exc)) from exc
+
+    def decode_lenient(self, data: bytes) -> bytes:
+        return strip_crcs_lenient(data)
 
 
 def build_link_header(length: int, ctrl: int, dest: int, src: int) -> bytes:

@@ -171,6 +171,28 @@ class GlobalCoverage:
         self.edges_seen += new_edges
         return new_bits
 
+    def merge_bucketed(self, pairs: Iterable[Tuple[int, int]]) -> bool:
+        """Fold already-bucketed ``(edge_index, bucket_bits)`` pairs in.
+
+        The corpus-exchange path of the fleet subsystem: imported seeds
+        travel as the bucketed sparse maps persisted in a sibling shard's
+        coverage journal, so the import merges bucket bits directly
+        instead of re-bucketing raw counts.  Returns True when the pairs
+        reached new state (same contract as :meth:`merge`).
+        """
+        new_bits = False
+        new_edges = 0
+        virgin = self.virgin
+        for index, bucket in pairs:
+            seen = virgin[index]
+            if seen & bucket != bucket:
+                if seen == 0:
+                    new_edges += 1
+                virgin[index] = seen | bucket
+                new_bits = True
+        self.edges_seen += new_edges
+        return new_bits
+
     def would_be_new(self, execution_map: CoverageMap) -> bool:
         """Non-mutating variant of :meth:`merge`."""
         virgin = self.virgin

@@ -5,11 +5,15 @@ north star (long-running services, many scenarios) needs campaigns that
 survive their process.  :class:`CampaignWorkspace` persists a running
 campaign — seed corpus, crash inputs, sparse coverage journal, stats
 series, config and RNG snapshots — so ``peachstar resume <dir>``
-continues a killed campaign bit-identically.
+continues a killed campaign bit-identically.  :class:`FleetWorkspace`
+stacks N shard workspaces under one manifest with AFL-style sync-dir
+corpus exchange between them (see :mod:`repro.core.fleet`).
 """
 
+from repro.store.fleet import FleetWorkspace, is_fleet_workspace
 from repro.store.workspace import (
     STATE_FORMAT, CampaignWorkspace, WorkspaceError,
 )
 
-__all__ = ["STATE_FORMAT", "CampaignWorkspace", "WorkspaceError"]
+__all__ = ["STATE_FORMAT", "CampaignWorkspace", "FleetWorkspace",
+           "WorkspaceError", "is_fleet_workspace"]

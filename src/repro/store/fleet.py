@@ -1,0 +1,170 @@
+"""FleetWorkspace: the on-disk layout of a multi-shard campaign fleet.
+
+Layout of a fleet directory::
+
+    <root>/
+      fleet.json         fleet manifest: engine, target, shard count,
+                         base seed, sync cadence, shared campaign config
+      sync_state.json    atomic high-water mark of completed sync phases
+      shards/
+        000/ … NNN/      one CampaignWorkspace per shard
+
+Each shard is an ordinary :class:`~repro.store.workspace.CampaignWorkspace`
+— the same corpus/crash/journal/checkpoint files, the same restore
+semantics — plus an ``inbox/`` of cross-shard seeds staged by the fleet
+driver's sync phases (AFL-style sync dirs, pure file-level exchange).
+
+``sync_state.json`` is the fleet-level recovery point: the driver bumps
+it atomically only after a sync phase has staged every shard's inbox, so
+a kill anywhere inside the phase makes the resumed driver redo the whole
+phase — inbox writes are deterministic and idempotent, which is what
+keeps a killed-and-resumed fleet bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Tuple
+
+from repro.store.workspace import (
+    STATE_FORMAT, CampaignWorkspace, WorkspaceError, _atomic_write,
+)
+
+
+def is_fleet_workspace(root: str) -> bool:
+    """True when *root* holds a fleet manifest (vs a single campaign)."""
+    return os.path.exists(os.path.join(root, "fleet.json"))
+
+
+class FleetWorkspace:
+    """On-disk store for one fleet: a manifest plus N shard workspaces."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.shards_dir = os.path.join(self.root, "shards")
+        self._manifest_path = os.path.join(self.root, "fleet.json")
+        self._sync_state_path = os.path.join(self.root, "sync_state.json")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def exists(self) -> bool:
+        return os.path.exists(self._manifest_path)
+
+    def initialize(self, engine_name: str, target_name: str, seed: int,
+                   shards: int, sync_every: int,
+                   config_dict: dict) -> None:
+        """Create a fresh fleet; refuses to clobber an existing one."""
+        if self.exists:
+            raise WorkspaceError(
+                f"fleet workspace {self.root} already exists; "
+                "use `peachstar resume` (or a fresh directory) instead")
+        if shards < 1:
+            raise WorkspaceError("a fleet needs at least one shard")
+        if sync_every < 1:
+            raise WorkspaceError("sync_every must be >= 1 execution")
+        os.makedirs(self.shards_dir, exist_ok=True)
+        manifest = {
+            "format": STATE_FORMAT,
+            "engine": engine_name,
+            "target": target_name,
+            "seed": seed,
+            "shards": shards,
+            "sync_every": sync_every,
+            "config": config_dict,
+        }
+        _atomic_write(self._manifest_path,
+                      json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+
+    def load_manifest(self) -> dict:
+        if not self.exists:
+            raise WorkspaceError(f"{self.root} is not a fleet workspace "
+                                 "(no fleet.json)")
+        with open(self._manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != STATE_FORMAT:
+            raise WorkspaceError(
+                f"fleet format {manifest.get('format')!r} is not "
+                f"supported (expected {STATE_FORMAT})")
+        return manifest
+
+    # ------------------------------------------------------------------
+    # shards
+    # ------------------------------------------------------------------
+
+    def shard_dir(self, shard: int) -> str:
+        return os.path.join(self.shards_dir, f"{shard:03d}")
+
+    def shard_workspace(self, shard: int) -> CampaignWorkspace:
+        return CampaignWorkspace(self.shard_dir(shard))
+
+    def shard_workspaces(self) -> List[CampaignWorkspace]:
+        shards = self.load_manifest()["shards"]
+        return [self.shard_workspace(index) for index in range(shards)]
+
+    # ------------------------------------------------------------------
+    # sync bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def synced_rounds(self) -> int:
+        """Sync phases completed (inboxes fully staged for that round)."""
+        if not os.path.exists(self._sync_state_path):
+            return 0
+        with open(self._sync_state_path, encoding="utf-8") as handle:
+            return json.load(handle)["synced_rounds"]
+
+    def record_sync_round(self, sync_round: int) -> None:
+        _atomic_write(self._sync_state_path,
+                      json.dumps({"synced_rounds": sync_round}) + "\n")
+
+    # ------------------------------------------------------------------
+    # sync-phase readers (the parent-side selection inputs)
+    # ------------------------------------------------------------------
+
+    def read_journal(self, shard: int,
+                     offset: int) -> Tuple[int, List[dict]]:
+        """Complete coverage-journal lines appended since byte *offset*.
+
+        Returns ``(new_offset, lines)``.  Only whole lines (trailing
+        newline present) are consumed, and a record that does not
+        decode is skipped: a SIGKILL landing mid-append leaves a torn
+        tail, which the shard's next restore prunes and regenerates —
+        the parent must not trip over it meanwhile.  The driver calls
+        this only at round barriers, so between calls the journal is
+        append-only and the offset stays valid.
+        """
+        path = os.path.join(self.shard_dir(shard), "coverage.jsonl")
+        if not os.path.exists(path):
+            return offset, []
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            blob = handle.read()
+        end = blob.rfind(b"\n")
+        if end < 0:
+            return offset, []
+        lines = []
+        for raw in blob[:end].split(b"\n"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                lines.append(json.loads(raw))
+            except ValueError:
+                continue
+        return offset + end + 1, lines
+
+    def local_corpus_meta(self, shard: int,
+                          exec_index: int) -> Optional[dict]:
+        """Metadata (+ ``_bin`` path) of one locally-discovered seed."""
+        path = os.path.join(self.shard_dir(shard), "corpus",
+                            f"{exec_index:07d}.json")
+        if not os.path.exists(path):
+            return None
+        with open(path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+        meta["_bin"] = path[:-len(".json")] + ".bin"
+        return meta

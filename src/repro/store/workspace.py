@@ -171,11 +171,18 @@ class CampaignWorkspace:
         self.corpus_dir = os.path.join(self.root, "corpus")
         self.crashes_dir = os.path.join(self.root, "crashes")
         self.repro_dir = os.path.join(self.root, "repro")
+        self.inbox_dir = os.path.join(self.root, "inbox")
         self._config_path = os.path.join(self.root, "config.json")
         self._state_path = os.path.join(self.root, "state.json")
         self._coverage_path = os.path.join(self.root, "coverage.jsonl")
         self._series_path = os.path.join(self.root, "series.jsonl")
         self._result_path = os.path.join(self.root, "result.json")
+        #: fleet corpus-sync high-water mark: how many sync rounds this
+        #: campaign has *applied*.  Persisted with every checkpoint so a
+        #: kill between import application and the post-import checkpoint
+        #: replays the round instead of double-importing (restore prunes
+        #: the orphaned import records).  Always 0 outside a fleet.
+        self.synced_rounds = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -250,6 +257,87 @@ class CampaignWorkspace:
                 "map": bucketed,
             }) + "\n")
 
+    def record_import(self, seed, bucketed_map: List[List[int]],
+                      sync_round: int, src_shard: int,
+                      src_exec: int) -> None:
+        """Persist one fleet-sync import exactly like a local discovery.
+
+        The stem sorts *after* a local seed of the same execution index
+        (``.`` < ``_``), matching the in-memory order: a seed discovered
+        at the round boundary precedes the imports applied there.
+        """
+        stem = os.path.join(
+            self.corpus_dir,
+            f"{seed.execution_index:07d}_sync_r{sync_round:03d}"
+            f"_s{src_shard:03d}_{src_exec:07d}")
+        with open(stem + ".bin", "wb") as handle:
+            handle.write(seed.packet)
+        meta = {
+            "execution_index": seed.execution_index,
+            "model_name": seed.model_name,
+            "sim_time_ms": seed.sim_time_ms,
+            "edges_touched": seed.edges_touched,
+            "path_hash": seed.path_hash,
+            "sync_round": sync_round,
+            "src_shard": src_shard,
+            "src_exec": src_exec,
+        }
+        _atomic_write(stem + ".json",
+                      json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        with open(self._coverage_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({
+                "exec": seed.execution_index,
+                "path_hash": seed.path_hash,
+                "map": [list(pair) for pair in bucketed_map],
+                "sync_round": sync_round,
+            }) + "\n")
+
+    # ------------------------------------------------------------------
+    # fleet sync inbox (written by the fleet driver, consumed on resume)
+    # ------------------------------------------------------------------
+
+    def inbox_round_dir(self, sync_round: int) -> str:
+        return os.path.join(self.inbox_dir, f"round_{sync_round:03d}")
+
+    def write_inbox_entry(self, sync_round: int, src_shard: int,
+                          src_exec: int, packet: bytes,
+                          meta: dict) -> None:
+        """Stage one selected cross-shard seed for the next round.
+
+        Rewriting an entry is idempotent — a sync phase interrupted and
+        redone produces byte-identical files.
+        """
+        directory = self.inbox_round_dir(sync_round)
+        os.makedirs(directory, exist_ok=True)
+        stem = os.path.join(directory,
+                            f"s{src_shard:03d}_{src_exec:07d}")
+        with open(stem + ".bin", "wb") as handle:
+            handle.write(packet)
+        _atomic_write(stem + ".json",
+                      json.dumps(meta, indent=2, sort_keys=True) + "\n")
+
+    def load_inbox_rounds(self, after: int,
+                          through: int) -> List[Tuple[int, List[dict]]]:
+        """Staged sync rounds in ``(after, through]``, entries in the
+        deterministic application order (source shard, source exec)."""
+        rounds: List[Tuple[int, List[dict]]] = []
+        for sync_round in range(after + 1, through + 1):
+            directory = self.inbox_round_dir(sync_round)
+            if not os.path.isdir(directory):
+                continue
+            entries = []
+            for name in sorted(os.listdir(directory)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(directory, name)
+                with open(path, encoding="utf-8") as handle:
+                    meta = json.load(handle)
+                meta["_bin"] = path[:-len(".json")] + ".bin"
+                entries.append(meta)
+            if entries:
+                rounds.append((sync_round, entries))
+        return rounds
+
     def crash_stem(self, report: CrashReport) -> str:
         name = fs_slug(f"{report.kind}_{report.site}")
         return os.path.join(self.crashes_dir, name)
@@ -279,6 +367,7 @@ class CampaignWorkspace:
         """Atomically snapshot every piece of mutable engine state."""
         state = {
             "format": STATE_FORMAT,
+            "synced_rounds": self.synced_rounds,
             "executions": engine.stats.executions,
             "target_executions": engine.target.executions,
             "clock_ms": engine.clock.now_ms,
@@ -348,6 +437,7 @@ class CampaignWorkspace:
 
         state = self.load_state()
         exec_limit = state["executions"]
+        self.synced_rounds = state.get("synced_rounds", 0)
 
         engine.rng.setstate(_rng_state_from_json(state["rng_state"]))
         engine.clock.now_ms = state["clock_ms"]
@@ -357,7 +447,8 @@ class CampaignWorkspace:
 
         # -- valuable seeds + global coverage --------------------------------
         pool = engine.seed_pool
-        for meta in self._load_corpus_entries(exec_limit, prune=True):
+        for meta in self._load_corpus_entries(exec_limit, prune=True,
+                                              sync_limit=self.synced_rounds):
             with open(meta["_bin"], "rb") as handle:
                 packet = handle.read()
             pool.seeds.append(ValuableSeed(
@@ -370,7 +461,8 @@ class CampaignWorkspace:
                 path_hash=meta["path_hash"],
             ))
         virgin = pool.coverage.virgin
-        for line in self._prune_jsonl(self._coverage_path, exec_limit):
+        for line in self._prune_jsonl(self._coverage_path, exec_limit,
+                                      sync_limit=self.synced_rounds):
             for index, bucket in line["map"]:
                 virgin[index] |= bucket
         pool.coverage.edges_seen = state["edges_seen"]
@@ -423,11 +515,14 @@ class CampaignWorkspace:
 
     @staticmethod
     def _load_entries(directory: str, exec_limit: Optional[int] = None,
-                      prune: bool = False) -> List[dict]:
+                      prune: bool = False,
+                      sync_limit: Optional[int] = None) -> List[dict]:
         """Metadata (+ ``_bin`` path) of every ``.json``/``.bin`` pair in
-        *directory*, sorted by execution index; entries past *exec_limit*
-        are skipped (and deleted when *prune* — the resumed loop will
-        regenerate them)."""
+        *directory*, sorted by execution index (name-order on ties, so a
+        boundary seed precedes the imports applied at the same index);
+        entries past *exec_limit* — or from a sync round past
+        *sync_limit* — are skipped (and deleted when *prune* — the
+        resumed loop regenerates them)."""
         entries = []
         if not os.path.isdir(directory):
             return entries
@@ -438,8 +533,11 @@ class CampaignWorkspace:
             with open(path, encoding="utf-8") as handle:
                 meta = json.load(handle)
             meta["_bin"] = path[:-len(".json")] + ".bin"
-            if exec_limit is not None and \
-                    meta["execution_index"] > exec_limit:
+            stale = (exec_limit is not None
+                     and meta["execution_index"] > exec_limit) or \
+                    (sync_limit is not None
+                     and meta.get("sync_round", 0) > sync_limit)
+            if stale:
                 if prune:
                     os.unlink(path)
                     if os.path.exists(meta["_bin"]):
@@ -450,15 +548,23 @@ class CampaignWorkspace:
         return entries
 
     def _load_corpus_entries(self, exec_limit: Optional[int] = None,
-                             prune: bool = False) -> List[dict]:
-        return self._load_entries(self.corpus_dir, exec_limit, prune)
+                             prune: bool = False,
+                             sync_limit: Optional[int] = None) -> List[dict]:
+        return self._load_entries(self.corpus_dir, exec_limit, prune,
+                                  sync_limit)
 
     def _load_crash_entries(self, exec_limit: Optional[int] = None,
                             prune: bool = False) -> List[dict]:
         return self._load_entries(self.crashes_dir, exec_limit, prune)
 
-    def _prune_jsonl(self, path: str, exec_limit: int) -> List[dict]:
-        """Load a journal, drop entries past the checkpoint, rewrite."""
+    def _prune_jsonl(self, path: str, exec_limit: int,
+                     sync_limit: Optional[int] = None) -> List[dict]:
+        """Load a journal, drop entries past the checkpoint, rewrite.
+
+        A record that does not decode is dropped too: a SIGKILL landing
+        mid-append leaves a torn final line, which by construction is
+        past the last checkpoint — the resumed loop regenerates it.
+        """
         if not os.path.exists(path):
             return []
         kept: List[dict] = []
@@ -468,8 +574,14 @@ class CampaignWorkspace:
                 raw = raw.strip()
                 if not raw:
                     continue
-                line = json.loads(raw)
-                if line["exec"] > exec_limit:
+                try:
+                    line = json.loads(raw)
+                except ValueError:
+                    dropped = True
+                    continue
+                if line["exec"] > exec_limit or \
+                        (sync_limit is not None
+                         and line.get("sync_round", 0) > sync_limit):
                     dropped = True
                     continue
                 kept.append(line)

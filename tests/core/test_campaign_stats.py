@@ -4,12 +4,13 @@ import pytest
 
 from repro.core import (
     CampaignConfig, average_paths_at, average_series, bugs_found,
-    path_increase_pct, run_campaign, run_repetitions, speedup_to_reference,
-    time_to_bugs,
+    merge_crash_reports, path_increase_pct, run_campaign, run_repetitions,
+    speedup_to_reference, time_to_bugs,
 )
 from repro.core.campaign import CampaignResult
 from repro.core.stats import compare
 from repro.protocols import get_target
+from repro.sanitizer.report import CrashReport
 
 
 def _quick_config(**kwargs):
@@ -114,3 +115,36 @@ class TestAggregates:
         a = self._fake([(0.0, 0)], {("SEGV", "x"): 5.0})
         b = self._fake([(0.0, 0)], {("SEGV", "x"): 2.0})
         assert bugs_found([a, b]) == {("SEGV", "x"): 2}
+
+    def _shard_with_report(self, hours):
+        """A shard result whose crash carries both a report and a time
+        (the shape real campaigns and fleet shards produce)."""
+        report = CrashReport(kind="SEGV", site="x", detail="",
+                            packet=b"\x01", execution_index=int(hours * 10))
+        return CampaignResult(
+            engine_name="e", target_name="t", seed=0,
+            series=[(0.0, 0)], final_paths=0, final_edges=0, executions=0,
+            unique_crashes=[report],
+            crash_times={report.dedup_key: hours},
+            stats={"crashes_total": 1})
+
+    def test_time_to_bugs_out_of_order_shards(self):
+        """Regression: time_to_bugs now folds through
+        CrashDatabase.merge, so the earliest first-seen must win no
+        matter what order parallel shard results come back in."""
+        shards = [self._shard_with_report(hours)
+                  for hours in (7.0, 2.0, 11.0, 4.5)]
+        expected = {("SEGV", "x"): 2.0}
+        assert time_to_bugs(shards) == expected
+        assert time_to_bugs(list(reversed(shards))) == expected
+        assert time_to_bugs(shards[2:] + shards[:2]) == expected
+
+    def test_merge_crash_reports_keeps_earliest_representative(self):
+        late, early = self._shard_with_report(9.0), \
+            self._shard_with_report(1.5)
+        merged = merge_crash_reports([late, early])
+        assert merged.unique_count() == 1
+        assert merged.first_seen[("SEGV", "x")] == 1.5
+        # the representative report follows the earliest observation
+        assert merged.unique_reports()[0].execution_index == 15
+        assert merged.total_crashes == 2

@@ -11,6 +11,8 @@ import sys
 
 import pytest
 
+from repro.core import CampaignConfig, run_campaign
+from repro.protocols import get_target
 from repro.protocols.modbus import ModbusServer, build_read_request
 from repro.runtime.instrument import (
     MonitoringCollector, TracingCollector, _monitoring_usable,
@@ -134,6 +136,38 @@ class TestMonitoringPersistentRegistration:
         again = make_line_collector(PREFIXES, backend="monitoring")
         _run_modbus(again, build_read_request(3, 0, 2))
         assert again.map.edge_count() > 10
+
+
+@pytest.mark.skipif(not HAS_MONITORING,
+                    reason="sys.monitoring needs CPython 3.12+")
+class TestBackendCampaignParity:
+    """Whole-campaign parity: the same campaign driven once under
+    ``REPRO_COVERAGE_BACKEND=settrace`` and once under ``=monitoring``
+    must pin identical path-hash sets (and identical everything else —
+    the backends may only differ in wall-clock cost)."""
+
+    def teardown_method(self):
+        MonitoringCollector.release()
+
+    def _campaign(self, monkeypatch, backend):
+        monkeypatch.setenv("REPRO_COVERAGE_BACKEND", backend)
+        config = CampaignConfig(budget_hours=24.0, max_executions=150,
+                                record_every=10)
+        return run_campaign("peach-star", get_target("libmodbus"),
+                            seed=17, config=config)
+
+    def test_identical_path_hash_sets(self, monkeypatch):
+        settrace = self._campaign(monkeypatch, "settrace")
+        MonitoringCollector.release()
+        monitoring = self._campaign(monkeypatch, "monitoring")
+        assert set(settrace.path_hashes) == set(monitoring.path_hashes)
+        assert settrace.path_hashes == monitoring.path_hashes
+        assert settrace.series == monitoring.series
+        assert settrace.final_paths == monitoring.final_paths
+        assert settrace.final_edges == monitoring.final_edges
+        assert settrace.stats == monitoring.stats
+        assert sorted(r.dedup_key for r in settrace.unique_crashes) == \
+            sorted(r.dedup_key for r in monitoring.unique_crashes)
 
 
 @pytest.mark.skipif(not HAS_MONITORING,
