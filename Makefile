@@ -9,14 +9,17 @@
 #   make test-matrix — the cross-protocol conformance matrix standalone
 #   make fleet-demo  — a small synced 4-shard fleet in /tmp, rendered
 #                      with the per-shard/merged summary table
+#   make sessions-demo — the stateful session-fuzzing walkthrough
+#                      (examples/fuzz_sessions.py on IEC 104)
 
 PY ?= python
 PYTEST_ARGS ?= -x -q
 FLEET_DEMO_DIR ?= /tmp/peachstar-fleet-demo
+SESSIONS_DEMO_HOURS ?= 8
 
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench test-matrix fleet-demo
+.PHONY: test smoke bench test-matrix fleet-demo sessions-demo
 
 test:
 	$(PY) -m pytest $(PYTEST_ARGS)
@@ -34,3 +37,6 @@ fleet-demo:
 	rm -rf $(FLEET_DEMO_DIR)
 	$(PY) -m repro.cli fleet libmodbus --shards 4 --sync-every 100 \
 		--hours 4 --workspace $(FLEET_DEMO_DIR) --jobs 4
+
+sessions-demo:
+	$(PY) examples/fuzz_sessions.py $(SESSIONS_DEMO_HOURS)

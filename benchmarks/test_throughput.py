@@ -20,6 +20,7 @@ import os
 import sys
 import tempfile
 import time
+from dataclasses import replace
 
 import pytest
 
@@ -120,9 +121,11 @@ def _fleet_vs_serial() -> dict:
     """Paths per wall-clock second: synced fleet vs serial repetitions.
 
     The same N seeds run twice — once as a corpus-exchanging fleet on N
-    worker processes (checkpointing to a throwaway workspace), once as
-    N plain serial campaigns — and both sides report their merged
-    unique-path yield per second of real time.
+    worker processes, once as N plain serial campaigns — and both sides
+    report their merged unique-path yield per second of real time.
+    Both sides persist to a (throwaway) workspace, so the ratio compares
+    sync-and-parallelism against serial execution alone instead of
+    quietly charging persistence to the fleet only.
     """
     spec = get_target(HEADLINE_TARGET)
     config = bench_config()
@@ -133,12 +136,13 @@ def _fleet_vs_serial() -> dict:
                           seed=HEADLINE_SEED, sync_every=FLEET_SYNC_EVERY,
                           config=config, max_workers=FLEET_SHARDS)
         fleet_secs = time.perf_counter() - start
-    start = time.perf_counter()
-    serial = [run_campaign("peach-star", spec,
-                           seed=HEADLINE_SEED + 1000 * shard,
-                           config=config)
-              for shard in range(FLEET_SHARDS)]
-    serial_secs = time.perf_counter() - start
+        start = time.perf_counter()
+        serial = [run_campaign(
+                      "peach-star", spec, seed=HEADLINE_SEED + 1000 * shard,
+                      config=replace(config, workspace=os.path.join(
+                          tmp, f"serial-{shard}")))
+                  for shard in range(FLEET_SHARDS)]
+        serial_secs = time.perf_counter() - start
     serial_union = set()
     for result in serial:
         serial_union.update(result.path_hashes)
@@ -148,6 +152,7 @@ def _fleet_vs_serial() -> dict:
         "target": HEADLINE_TARGET,
         "engine": "peach-star",
         "shards": FLEET_SHARDS,
+        "serial_workspace": True,  # both sides pay persistence
         "sync_every": FLEET_SYNC_EVERY,
         "sync_rounds": fleet.rounds,
         "imported_seeds": fleet.imported_seeds,
@@ -159,6 +164,81 @@ def _fleet_vs_serial() -> dict:
         "serial_paths_per_sec": round(serial_rate, 2),
         "paths_per_sec_ratio": round(fleet_rate / max(serial_rate, 1e-9),
                                      2),
+    }
+
+
+#: session-vs-single-packet comparison target: IEC 104 is the paper's
+#: most state-gated server (STARTDT/STOPDT) and ships a state model
+SESSIONS_TARGET = "iec104"
+SESSIONS_SEED = 700
+
+
+def _session_only_edges(spec) -> int:
+    """Directed measurement: edges only a live session can reach.
+
+    STOPDT followed by an I-frame in one session covers the
+    ``not started`` drop paths; the same packets executed one-at-a-time
+    (reset between — single-packet mode by definition) never can.
+    """
+    from repro.protocols import PROTOCOLS_PATH_PREFIX
+    from repro.runtime.instrument import make_line_collector
+    from repro.runtime.target import Target
+
+    pit = spec.make_pit()
+    stopdt = pit.model("iec104.stopdt").build_bytes()
+    followers = (pit.model("iec104.interrogation").build_bytes(),
+                 pit.model("iec104.single_command").build_bytes())
+    collector = make_line_collector((PROTOCOLS_PATH_PREFIX,))
+    target = Target(spec.make_server, collector)
+    single_union = set()
+    for packet in (stopdt,) + followers:
+        single_union |= set(target.run(packet).coverage.journal)
+    session_edges = set()
+    for follower in followers:
+        trace = target.run_trace([(stopdt, None), (follower, None)])
+        session_edges |= set(trace.coverage.journal)
+    return len(session_edges - single_union)
+
+
+def _sessions_vs_single_packet() -> dict:
+    """Path discovery: session-mode vs single-packet Peach* on IEC 104.
+
+    Same simulated budget, same seed; session mode counts trace *steps*
+    as executions so the budgets are comparable.  ``session_only_edges``
+    is the directed measurement above — nonzero means the session
+    subsystem opens coverage the single-packet loop cannot reach at any
+    budget.
+    """
+    spec = get_target(SESSIONS_TARGET)
+    single_config = bench_config()
+    session_config = replace(single_config, sessions=True)
+    start = time.perf_counter()
+    session = run_campaign("peach-star", spec, seed=SESSIONS_SEED,
+                           config=session_config)
+    session_secs = time.perf_counter() - start
+    start = time.perf_counter()
+    single = run_campaign("peach-star", spec, seed=SESSIONS_SEED,
+                          config=single_config)
+    single_secs = time.perf_counter() - start
+    return {
+        "target": SESSIONS_TARGET,
+        "engine": "peach-star",
+        "session_paths": session.final_paths,
+        "single_packet_paths": single.final_paths,
+        "session_edges": session.final_edges,
+        "single_packet_edges": single.final_edges,
+        "session_executions": session.executions,
+        "session_traces": session.stats.get("traces", 0),
+        "single_packet_executions": single.executions,
+        "session_wall_seconds": round(session_secs, 3),
+        "single_packet_wall_seconds": round(single_secs, 3),
+        "session_execs_per_sec": round(
+            session.executions / max(session_secs, 1e-9), 1),
+        "single_packet_execs_per_sec": round(
+            single.executions / max(single_secs, 1e-9), 1),
+        "paths_ratio": round(
+            session.final_paths / max(single.final_paths, 1), 2),
+        "session_only_edges": _session_only_edges(spec),
     }
 
 
@@ -222,6 +302,7 @@ def _throughput():
             "speedup": round(sparse_rate / max(dense_rate, 1e-9), 2),
         },
         "fleet_vs_serial": _fleet_vs_serial(),
+        "sessions_vs_single_packet": _sessions_vs_single_packet(),
         "trajectory": _trim_trajectory(prior + [current_entry]),
         "regression": {
             "prior_best_execs_per_sec": prior_best,
@@ -259,6 +340,13 @@ def test_throughput_artifact(benchmark):
                 f"({fleet['fleet_merged_paths']} vs "
                 f"{fleet['serial_union_paths']} merged paths, "
                 f"{sum(fleet['imported_seeds'])} seeds exchanged)")
+    sessions = payload["sessions_vs_single_packet"]
+    rows.append(f"sessions vs single-packet (on {sessions['target']}): "
+                f"{sessions['session_paths']} vs "
+                f"{sessions['single_packet_paths']} paths, "
+                f"{sessions['session_edges']} vs "
+                f"{sessions['single_packet_edges']} edges, "
+                f"{sessions['session_only_edges']} session-only edges")
     rows.append(f"artifact: {path}")
     print_block("Wall-clock throughput (execs/sec)", "\n".join(rows))
     for engines in payload["targets"].values():
@@ -276,6 +364,19 @@ def test_fleet_vs_serial_entry(benchmark):
     assert fleet["fleet_paths_per_sec"] > 0
     assert fleet["serial_paths_per_sec"] > 0
     assert len(fleet["imported_seeds"]) == fleet["shards"]
+
+
+def test_sessions_vs_single_packet_entry(benchmark):
+    """The session comparison is recorded and structurally sane: both
+    modes discover paths under the same budget, and the directed
+    measurement confirms session-only coverage exists on IEC 104."""
+    payload = benchmark.pedantic(_throughput, rounds=1, iterations=1)
+    sessions = payload["sessions_vs_single_packet"]
+    assert sessions["session_paths"] > 0
+    assert sessions["single_packet_paths"] > 0
+    assert sessions["session_traces"] > 0
+    assert sessions["session_executions"] >= sessions["session_traces"]
+    assert sessions["session_only_edges"] > 0
 
 
 def test_sparse_pipeline_at_least_3x_dense(benchmark):

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Stateful session fuzzing: multi-packet traces as the unit of work.
+
+Single-packet fuzzing resets the server before every execution, so the
+deep state ICS servers actually carry — the IEC 104 STARTDT/STOPDT gate,
+DNP3 select-before-operate, Modbus diagnostic modes — is unreachable by
+construction.  Session mode random-walks a per-protocol *state model*,
+runs whole traces against one live server (reset only at trace
+boundaries), mutates one step at a time while replaying the honest
+prefix (response-derived bindings echo the server's live sequence
+numbers back into the trace), and attributes each crash to the step
+that raised it.
+
+This walkthrough, on IEC 104 (the paper's most state-gated server):
+
+1. proves, with a two-packet directed experiment, that a live session
+   reaches coverage no single packet ever can;
+2. runs a session campaign next to a single-packet campaign under the
+   same simulated budget and compares path discovery;
+3. shows a trace from the session corpus, step by step.
+
+Run:  python examples/fuzz_sessions.py [hours] [workspace-dir]
+
+The workspace (default: a temp directory) is a normal campaign
+workspace — trace corpus entries included — so the usual tooling works:
+
+    peachstar resume <workspace>
+    peachstar triage --workspace <workspace> --verbose
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import CampaignConfig, get_target, run_campaign
+from repro.protocols import PROTOCOLS_PATH_PREFIX
+from repro.runtime.instrument import make_line_collector
+from repro.runtime.target import Target
+from repro.state import decode_trace
+from repro.store import CampaignWorkspace
+
+TARGET = "iec104"
+
+
+def prove_session_only_coverage(spec) -> int:
+    """STOPDT + I-frame in one session vs the same packets separately."""
+    pit = spec.make_pit()
+    stopdt = pit.model("iec104.stopdt").build_bytes()
+    interrogation = pit.model("iec104.interrogation").build_bytes()
+    collector = make_line_collector((PROTOCOLS_PATH_PREFIX,))
+    target = Target(spec.make_server, collector)
+    single = set()
+    for packet in (stopdt, interrogation):
+        single |= set(target.run(packet).coverage.journal)
+    trace = target.run_trace([(stopdt, None), (interrogation, None)])
+    session_only = set(trace.coverage.journal) - single
+    print(f"  single-packet union: {len(single)} edges")
+    print(f"  2-step session:      {len(trace.coverage.journal)} edges, "
+          f"{len(session_only)} unreachable without the session")
+    return len(session_only)
+
+
+def main() -> None:
+    hours = float(sys.argv[1]) if len(sys.argv) > 1 else 24.0
+    workspace = sys.argv[2] if len(sys.argv) > 2 else \
+        os.path.join(tempfile.mkdtemp(prefix="peachstar-sessions-"), "ws")
+    spec = get_target(TARGET)
+
+    print("=" * 68)
+    print(f"1. why sessions: state no single packet can reach ({TARGET})")
+    print("=" * 68)
+    assert prove_session_only_coverage(spec) > 0
+
+    print()
+    print("=" * 68)
+    print(f"2. session vs single-packet campaign, {hours:.0f} simulated "
+          "hours each")
+    print("=" * 68)
+    session_config = CampaignConfig(budget_hours=hours, sessions=True,
+                                    workspace=workspace)
+    session = run_campaign("peach-star", spec, seed=1,
+                           config=session_config)
+    single = run_campaign("peach-star", spec, seed=1,
+                          config=CampaignConfig(budget_hours=hours))
+    print(f"  session mode:  {session.final_paths:4d} paths "
+          f"{session.final_edges:4d} edges "
+          f"({session.stats['traces']} traces, "
+          f"{session.executions} steps)")
+    print(f"  single-packet: {single.final_paths:4d} paths "
+          f"{single.final_edges:4d} edges "
+          f"({single.executions} packets)")
+
+    print()
+    print("=" * 68)
+    print("3. the trace corpus (one entry, decoded)")
+    print("=" * 68)
+    packets = CampaignWorkspace(workspace).corpus_packets()
+    longest = max(packets, key=lambda blob: len(decode_trace(blob)))
+    for index, step in enumerate(decode_trace(longest)):
+        bound = f"  bindings={step.bind}" if step.bind else ""
+        print(f"  step {index}: {step.model_name:<28} "
+              f"{len(step.packet):3d} bytes  -> {step.state}{bound}")
+    print()
+    print(f"workspace persisted to {workspace}")
+    print("continue with `peachstar resume`, inspect crashes with "
+          "`peachstar triage --workspace`")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,9 +25,17 @@ def render_triage_table(report: TriageReport) -> str:
     ]
     for crash in report.crashes:
         bucket = crash.bucket
-        original = len(crash.report.packet)
-        minimized = len(crash.final_packet)
-        if crash.minimization is not None and crash.minimization.confirmed:
+        confirmed = crash.minimization is not None and \
+            crash.minimization.confirmed
+        if crash.report.is_session:
+            # session crash: compare like with like — the encoded trace
+            # the minimizer actually worked on, not the one crashing step
+            original = len(crash.report.trace)
+            minimized = len(crash.final_packet) if confirmed else original
+        else:
+            original = len(crash.report.packet)
+            minimized = len(crash.final_packet)
+        if confirmed:
             size = f"{original:>4} ->{minimized:>4}"
         else:
             size = f"{original:>4}  (?)"

@@ -52,6 +52,13 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
                              "on CPython 3.12+, else sys.settrace)")
 
 
+def _add_sessions_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sessions", action="store_true",
+                        help="session mode: fuzz multi-packet traces over "
+                             "the target's state model (iec104, libmodbus "
+                             "and opendnp3 ship one)")
+
+
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", "-j", type=int, default=None,
                         help="worker processes for campaign fan-out "
@@ -62,6 +69,7 @@ def _config(args) -> CampaignConfig:
     return CampaignConfig(budget_hours=args.hours,
                           max_executions=args.max_execs,
                           coverage_backend=args.backend,
+                          sessions=getattr(args, "sessions", False),
                           workspace=getattr(args, "workspace", None))
 
 
@@ -81,10 +89,13 @@ def _print_campaign_summary(result, verbose: bool = False) -> None:
 
 
 def cmd_targets(_args) -> int:
-    print(f"{'name':<13} {'paper project':<16} {'bugs':>4}  description")
+    print(f"{'name':<13} {'paper project':<16} {'bugs':>4} "
+          f"{'sessions':>8}  description")
     for spec in all_targets():
+        sessions = "yes" if spec.supports_sessions else "-"
         print(f"{spec.name:<13} {spec.paper_project:<16} "
-              f"{spec.seeded_bug_count:>4}  {spec.description}")
+              f"{spec.seeded_bug_count:>4} {sessions:>8}  "
+              f"{spec.description}")
     return 0
 
 
@@ -93,7 +104,7 @@ def cmd_fuzz(args) -> int:
     try:
         result = run_campaign(args.engine, spec, seed=args.seed,
                               config=_config(args))
-    except WorkspaceError as exc:
+    except (WorkspaceError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     _print_campaign_summary(result, args.verbose)
@@ -111,7 +122,7 @@ def cmd_fleet(args) -> int:
                           workspace_dir=args.workspace, seed=args.seed,
                           sync_every=args.sync_every, config=_config(args),
                           max_workers=args.jobs)
-    except WorkspaceError as exc:
+    except (WorkspaceError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_fleet_table(fleet))
@@ -167,7 +178,7 @@ def cmd_triage(args) -> int:
                                   config=_config(args))
             crashes = result.unique_crashes
             out_dir = args.out or f"peachstar-triage-{spec.name}"
-    except WorkspaceError as exc:
+    except (WorkspaceError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if not crashes:
@@ -176,7 +187,7 @@ def cmd_triage(args) -> int:
     report = triage_reports(
         spec, crashes, minimize=not args.no_minimize,
         max_executions_per_crash=args.max_triage_execs, out_dir=out_dir,
-        coverage_backend=backend)
+        coverage_backend=backend, jobs=args.jobs)
     print(render_triage_table(report))
     if args.verbose:
         for crash in report.crashes:
@@ -249,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print full crash reports")
     fuzz.add_argument("--workspace", default=None, metavar="DIR",
                       help="persist the campaign to DIR (resumable)")
+    _add_sessions_arg(fuzz)
     _add_budget_args(fuzz)
 
     fleet = sub.add_parser(
@@ -264,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fleet workspace directory (resumable)")
     fleet.add_argument("--verbose", action="store_true",
                        help="print full crash reports")
+    _add_sessions_arg(fleet)
     _add_budget_args(fleet)
     _add_jobs_arg(fleet)
 
@@ -294,7 +307,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sanitizer-execution budget per crash")
     triage.add_argument("--verbose", action="store_true",
                         help="print the (minimized) crash reports")
+    _add_sessions_arg(triage)
     _add_budget_args(triage)
+    _add_jobs_arg(triage)
 
     comp = sub.add_parser("compare", help="Peach vs Peach* on one target")
     comp.add_argument("target")

@@ -87,6 +87,13 @@ class CampaignConfig:
     crack_enabled: bool = True
     semantic_enabled: bool = True
     hang_budget: int = 120_000
+    #: session mode: fuzz multi-packet traces over the target's state
+    #: model (requires a target with one; see `peachstar fuzz --sessions`).
+    #: ``executions`` then counts trace *steps*, so budgets stay
+    #: comparable with single-packet campaigns.
+    sessions: bool = False
+    #: session mode: length bound for fresh state-model walks
+    max_trace_steps: int = 6
     #: line-coverage backend: "auto" | "monitoring" | "settrace"
     coverage_backend: str = "auto"
     #: directory to persist the campaign into (None = in-memory only).
@@ -113,6 +120,26 @@ def config_from_dict(blob: dict) -> CampaignConfig:
     return CampaignConfig(**kwargs)
 
 
+def validate_session_support(engine_name: str, target_spec,
+                             config: CampaignConfig) -> None:
+    """Raise early when session mode cannot run for this combination.
+
+    Called by :func:`make_engine` and by entry points that create
+    on-disk state before any engine exists (the fleet initializes every
+    shard workspace first — failing later would leave a half-built
+    fleet behind).
+    """
+    if not config.sessions:
+        return
+    if engine_name != "peach-star":
+        raise ValueError("session mode needs the peach-star engine "
+                         f"(got {engine_name!r})")
+    if target_spec.make_state_model is None:
+        raise ValueError(
+            f"target {target_spec.name!r} ships no state model; "
+            "session mode is unavailable for it")
+
+
 def make_engine(engine_name: str, target_spec, seed: int,
                 config: Optional[CampaignConfig] = None) -> GenerationFuzzer:
     """Build a ready-to-run engine ("peach" or "peach-star") for a target.
@@ -130,6 +157,17 @@ def make_engine(engine_name: str, target_spec, seed: int,
     target = Target(target_spec.make_server, collector)
     clock = SimulatedClock(target_spec.cost_model)
     pit = target_spec.make_pit()
+    if config.sessions:
+        validate_session_support(engine_name, target_spec, config)
+        from repro.state.engine import SessionFuzzer  # late: layering
+        return SessionFuzzer(pit, target, rng, clock, policy=config.policy,
+                             state_model=target_spec.make_state_model(),
+                             max_trace_steps=config.max_trace_steps,
+                             semantic_batch=config.semantic_batch,
+                             semantic_ratio=config.semantic_ratio,
+                             pin_prob=config.pin_prob,
+                             crack_enabled=config.crack_enabled,
+                             semantic_enabled=config.semantic_enabled)
     if engine_name == "peach":
         return GenerationFuzzer(pit, target, rng, clock,
                                 policy=config.policy)
@@ -166,6 +204,13 @@ def _drive_campaign(engine_name: str, target_spec, seed: int,
     already parked at the boundary is a no-op.
     """
     budget_ms = config.budget_hours * 3_600_000.0
+    # Cadences are tracked as crossed buckets, not `exec % N == 0`: a
+    # session iteration advances the step counter by a whole trace, so
+    # exact multiples cannot be relied on.  For single-packet engines
+    # (unit increments) this is behavior-identical, and initializing
+    # from the restored counter keeps resumes aligned with fresh runs.
+    record_bucket = engine.stats.executions // config.record_every
+    checkpoint_bucket = engine.stats.executions // config.checkpoint_every
     while engine.clock.now_ms < budget_ms and \
             engine.stats.executions < config.max_executions:
         if pause_after_executions is not None and \
@@ -182,15 +227,20 @@ def _drive_campaign(engine_name: str, target_spec, seed: int,
                 workspace.record_crash(outcome.result.crash,
                                        engine.clock.hours)
         if workspace is not None and outcome.valuable:
+            # outcome.result.coverage is the map that made the seed
+            # valuable — the collector map itself for single-packet
+            # runs, the step-accumulated trace map in session mode
             workspace.record_seed(engine.seed_pool.seeds[-1],
-                                  engine.target.collector.map)
-        if executions % config.record_every == 0:
+                                  outcome.result.coverage)
+        if executions // config.record_every > record_bucket:
+            record_bucket = executions // config.record_every
             series.append((engine.clock.hours, engine.path_count))
             if workspace is not None:
                 workspace.record_sample(executions, engine.clock.hours,
                                         engine.path_count)
         if workspace is not None and \
-                executions % config.checkpoint_every == 0:
+                executions // config.checkpoint_every > checkpoint_bucket:
+            checkpoint_bucket = executions // config.checkpoint_every
             workspace.checkpoint(engine)
         if stop_after_executions is not None and \
                 executions >= stop_after_executions:

@@ -35,11 +35,16 @@ from repro.sanitizer.report import CrashDatabase
 
 @dataclass(slots=True)
 class IterationOutcome:
-    """What one fuzzing iteration produced (consumed by the campaign)."""
+    """What one fuzzing iteration produced (consumed by the campaign).
+
+    In session mode ``packet`` is the canonical encoded trace and
+    ``result`` a :class:`~repro.runtime.target.TraceResult` (field-
+    compatible where this layer looks).
+    """
 
     packet: bytes
     model_name: str
-    result: ExecResult
+    result: "ExecResult"
     valuable: bool = False
     new_unique_crash: bool = False
     semantic: bool = False  # packet came from donor splicing
@@ -56,6 +61,8 @@ class EngineStats:
     #: seeds absorbed from sibling shards during fleet corpus sync (never
     #: counted as locally-discovered valuable seeds)
     imported_seeds: int = 0
+    #: session mode: whole traces executed (``executions`` counts steps)
+    traces: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -66,6 +73,7 @@ class EngineStats:
             "hangs": self.hangs,
             "puzzles": self.puzzles,
             "imported_seeds": self.imported_seeds,
+            "traces": self.traces,
         }
 
 

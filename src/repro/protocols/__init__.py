@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.runtime.clock import CostModel
 from repro.runtime.target import ProtocolServer
@@ -39,10 +39,17 @@ class TargetSpec:
     cost_model: CostModel
     seeded_bug_sites: FrozenSet[Tuple[str, str]] = frozenset()
     description: str = ""
+    #: session state machine factory (None = no session mode for this
+    #: target yet; `peachstar fuzz --sessions` requires one)
+    make_state_model: Optional[Callable] = None
 
     @property
     def seeded_bug_count(self) -> int:
         return len(self.seeded_bug_sites)
+
+    @property
+    def supports_sessions(self) -> bool:
+        return self.make_state_model is not None
 
 
 def _costs(exec_seconds: float) -> CostModel:
@@ -71,6 +78,7 @@ _register(TargetSpec(
     paper_project="libmodbus",
     make_server=modbus.ModbusServer,
     make_pit=modbus.make_pit,
+    make_state_model=modbus.make_state_model,
     cost_model=_costs(40.0),
     seeded_bug_sites=frozenset({
         ("heap-use-after-free", "modbus.c:respond_exception_after_free"),
@@ -84,6 +92,7 @@ _register(TargetSpec(
     paper_project="IEC104",
     make_server=iec104.Iec104Server,
     make_pit=iec104.make_pit,
+    make_state_model=iec104.make_state_model,
     cost_model=_costs(36.0),
     seeded_bug_sites=frozenset(),
     description="Minimal IEC 60870-5-104 slave (airpig2011/IEC104 analog)",
@@ -108,6 +117,7 @@ _register(TargetSpec(
     paper_project="opendnp3",
     make_server=dnp3.Dnp3Server,
     make_pit=dnp3.make_pit,
+    make_state_model=dnp3.make_state_model,
     cost_model=_costs(54.0),
     seeded_bug_sites=frozenset(),
     description="DNP3 outstation with CRC link layer (opendnp3 analog)",

@@ -4,11 +4,12 @@ from repro.protocols.dnp3.codec import (
     Dnp3CrcTransformer, FrameError, add_crcs, build_link_header,
     build_request, object_header, parse_response, strip_crcs,
 )
-from repro.protocols.dnp3.model import make_pit
+from repro.protocols.dnp3.model import make_pit, make_state_model
 from repro.protocols.dnp3.server import Dnp3Server
 
 __all__ = [
     "Dnp3CrcTransformer", "Dnp3Server", "FrameError", "add_crcs",
-    "build_link_header", "build_request", "make_pit", "object_header",
+    "build_link_header", "build_request", "make_pit", "make_state_model",
+    "object_header",
     "parse_response", "strip_crcs",
 ]

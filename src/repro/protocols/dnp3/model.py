@@ -14,6 +14,7 @@ from typing import List, Sequence
 
 from repro.model import Blob, Block, DataModel, Number, Pit, size_of
 from repro.protocols.dnp3 import codec
+from repro.state.model import State, StateModel, Transition
 
 
 def _request_model(name: str, app_fc: int, object_fields: Sequence,
@@ -148,3 +149,47 @@ def make_pit() -> Pit:
     fc_field = raw.root.child("link_body").child("app_fc")
     fc_field.token = False
     return Pit("dnp3", models)
+
+
+def make_state_model() -> StateModel:
+    """Session state machine for the DNP3 outstation.
+
+    Tracks the two pieces of application-layer state the single-packet
+    loop resets away: the device-restart IIN bit (set until a read or an
+    explicit IIN write clears it — ``cold_restart`` re-arms it) and the
+    select-before-operate latch (``operate_crob`` only succeeds against
+    the point a preceding ``select_crob`` latched *in the same
+    session*).  No response model is declared: the outstation answers
+    with FC 129 response APDUs that the request-only pit deliberately
+    does not model, so transitions carry no captures.
+    """
+    restart = State("restart", (
+        Transition("dnp3.read_class_data", "operational", weight=1.2),
+        Transition("dnp3.clear_restart", "operational"),
+        Transition("dnp3.select_crob", "selected"),
+        Transition("dnp3.read_binaries", "restart", weight=0.5),
+        Transition("dnp3.delay_measure", "restart", weight=0.4),
+        Transition("dnp3.raw_objects", "restart", weight=0.4),
+    ))
+    operational = State("operational", (
+        Transition("dnp3.select_crob", "selected", weight=1.2),
+        Transition("dnp3.read_class_data", "operational", weight=0.6),
+        Transition("dnp3.read_binaries", "operational", weight=0.5),
+        Transition("dnp3.read_counters", "operational", weight=0.4),
+        Transition("dnp3.read_analogs", "operational", weight=0.4),
+        Transition("dnp3.direct_operate_analog", "operational",
+                   weight=0.5),
+        Transition("dnp3.freeze_counters", "operational", weight=0.3),
+        Transition("dnp3.write_time", "operational", weight=0.3),
+        Transition("dnp3.cold_restart", "restart", weight=0.4),
+        Transition("dnp3.raw_objects", "operational", weight=0.4),
+    ))
+    selected = State("selected", (
+        Transition("dnp3.operate_crob", "operational", weight=1.5),
+        Transition("dnp3.select_crob", "selected", weight=0.5),
+        Transition("dnp3.confirm", "selected", weight=0.3),
+        Transition("dnp3.read_binaries", "selected", weight=0.4),
+        Transition("dnp3.cold_restart", "restart", weight=0.3),
+    ))
+    return StateModel("dnp3.session", "restart",
+                      (restart, operational, selected))

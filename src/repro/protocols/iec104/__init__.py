@@ -3,10 +3,10 @@
 from repro.protocols.iec104.codec import (
     build_asdu, build_i_frame, build_s_frame, build_u_frame, frame_kind,
 )
-from repro.protocols.iec104.model import make_pit
+from repro.protocols.iec104.model import make_pit, make_state_model
 from repro.protocols.iec104.server import Iec104Server
 
 __all__ = [
     "Iec104Server", "build_asdu", "build_i_frame", "build_s_frame",
-    "build_u_frame", "frame_kind", "make_pit",
+    "build_u_frame", "frame_kind", "make_pit", "make_state_model",
 ]

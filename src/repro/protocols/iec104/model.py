@@ -13,6 +13,7 @@ from typing import List, Sequence
 
 from repro.model import Blob, Block, DataModel, Number, Pit, size_of
 from repro.protocols.iec104 import codec
+from repro.state.model import State, StateModel, Transition
 
 
 def _apci_u(name: str, function: int) -> DataModel:
@@ -106,3 +107,50 @@ def make_pit() -> Pit:
     ])
     models[-1] = DataModel("iec104.raw_asdu", raw_root, weight=0.5)
     return Pit("iec104", models)
+
+
+def make_state_model() -> StateModel:
+    """Session state machine for the IEC104 target.
+
+    Two states mirror the server's STARTDT gate: data transfer enabled
+    (the connection-establishment default) and stopped after a STOPDT
+    act.  I-frames sent while stopped reach the ``not self.started``
+    drop paths that no single packet can ever hit — ``reset()`` re-arms
+    the gate before every single-packet execution.
+
+    I-frame transitions capture the server's send sequence number from
+    its response and echo it into the next packet's receive-sequence
+    header fields (through the Relation/Fixup rebuild), which is how a
+    replayed prefix keeps acknowledging whatever the live server
+    actually sent.
+    """
+    seq_bind = {"recv_seq_lo": "peer_send_lo", "recv_seq_hi": "peer_send_hi"}
+
+    def _i(send: str, to: str, weight: float = 1.0) -> Transition:
+        return Transition(send, to, bind=dict(seq_bind), expect=send,
+                          capture={"peer_send_lo": "send_seq_lo",
+                                   "peer_send_hi": "send_seq_hi"},
+                          weight=weight)
+
+    started = State("started", (
+        _i("iec104.interrogation", "started"),
+        _i("iec104.single_command", "started"),
+        _i("iec104.clock_sync", "started"),
+        Transition("iec104.single_point", "started", bind=dict(seq_bind),
+                   weight=0.5),
+        Transition("iec104.raw_asdu", "started", bind=dict(seq_bind),
+                   weight=0.7),
+        Transition("iec104.s_frame", "started", bind=dict(seq_bind),
+                   weight=0.5),
+        Transition("iec104.testfr", "started", weight=0.4),
+        Transition("iec104.stopdt", "stopped", weight=0.8),
+    ))
+    stopped = State("stopped", (
+        Transition("iec104.startdt", "started", weight=0.8),
+        Transition("iec104.interrogation", "stopped", bind=dict(seq_bind)),
+        Transition("iec104.single_command", "stopped", bind=dict(seq_bind)),
+        Transition("iec104.raw_asdu", "stopped", bind=dict(seq_bind),
+                   weight=0.5),
+        Transition("iec104.s_frame", "stopped", weight=0.4),
+    ))
+    return StateModel("iec104.session", "started", (started, stopped))

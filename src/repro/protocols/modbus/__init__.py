@@ -6,7 +6,7 @@ from repro.protocols.modbus.codec import (
     build_write_multiple_registers, build_write_single, parse_mbap,
     parse_response,
 )
-from repro.protocols.modbus.model import make_pit
+from repro.protocols.modbus.model import make_pit, make_state_model
 from repro.protocols.modbus.server import ModbusServer
 
 __all__ = [
@@ -14,5 +14,5 @@ __all__ = [
     "build_mask_write", "build_mbap", "build_read_request",
     "build_read_write_multiple", "build_write_multiple_coils",
     "build_write_multiple_registers", "build_write_single", "make_pit",
-    "parse_mbap", "parse_response",
+    "make_state_model", "parse_mbap", "parse_response",
 ]

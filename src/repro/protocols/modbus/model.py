@@ -20,6 +20,7 @@ from repro.model import (
     Blob, Block, DataModel, Number, Pit, size_of,
 )
 from repro.protocols.modbus import codec
+from repro.state.model import State, StateModel, Transition
 
 
 def _mbap_models(name: str, fc: int, fields: Sequence, weight: float = 1.0,
@@ -127,3 +128,47 @@ def make_pit() -> Pit:
     function_field.token = False
     function_field.values = None
     return Pit("modbus", models)
+
+
+def make_state_model() -> StateModel:
+    """Session state machine for the Modbus/TCP server.
+
+    Tracks the diagnostics-controlled connection modes the single-packet
+    loop resets away: force-listen-only (diagnostics sub-function
+    0x0004) versus restored communications (0x0001), with the event
+    counter accumulating across the whole session instead of restarting
+    at zero for every packet.
+
+    Every request transition captures the transaction id the server
+    echoes back and binds it into the next request's MBAP header — the
+    response re-parses under the request model (leniently), so the
+    binding flows through the ordinary Relation/Fixup rebuild.
+    """
+    txn_capture = {"txn": "transaction_id"}
+    txn_bind = {"transaction_id": "txn"}
+
+    def _req(send: str, to: str, weight: float = 1.0) -> Transition:
+        return Transition(send, to, bind=dict(txn_bind), expect=send,
+                          capture=dict(txn_capture), weight=weight)
+
+    online = State("online", (
+        _req("modbus.read_coils", "online"),
+        _req("modbus.read_holding_registers", "online"),
+        _req("modbus.write_single_register", "online"),
+        _req("modbus.write_multiple_registers", "online", weight=0.7),
+        _req("modbus.mask_write_register", "online", weight=0.5),
+        _req("modbus.read_write_multiple", "online", weight=0.5),
+        _req("modbus.get_comm_event_counter", "online", weight=0.6),
+        _req("modbus.read_exception_status", "online", weight=0.4),
+        Transition("modbus.raw_pdu", "online", bind=dict(txn_bind),
+                   weight=0.6),
+        Transition("modbus.diagnostics", "listen_only", weight=0.8),
+    ))
+    listen_only = State("listen_only", (
+        Transition("modbus.diagnostics", "online", weight=1.2),
+        _req("modbus.read_holding_registers", "listen_only", weight=0.6),
+        _req("modbus.get_comm_event_counter", "listen_only", weight=0.5),
+        Transition("modbus.raw_pdu", "listen_only", bind=dict(txn_bind),
+                   weight=0.4),
+    ))
+    return StateModel("modbus.session", "online", (online, listen_only))

@@ -115,6 +115,24 @@ class CoverageMap:
             counts[index] = count + 1
         self._prev = (cur_location >> 1) & _MAP_MASK
 
+    def absorb(self, other: "CoverageMap") -> None:
+        """Fold another execution map's counts into this one.
+
+        The session executor accumulates per-step maps into one
+        trace-level map this way: the result is what a single execution
+        running all steps back-to-back would have produced (edge counts
+        sum, saturating at 255), so ``edge_count``/``path_hash``/
+        ``iter_hits`` describe the whole trace.  O(touched in *other*).
+        """
+        counts = self.counts
+        journal = self.journal
+        other_counts = other.counts
+        for index in other.journal:
+            current = counts[index]
+            if current == 0:
+                journal.append(index)
+            counts[index] = min(255, current + other_counts[index])
+
     def iter_hits(self) -> Iterable[Tuple[int, int]]:
         """Yield ``(edge_index, raw_count)`` for every touched edge.
 

@@ -10,8 +10,8 @@ deterministic function of the packet.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.runtime.coverage import CoverageMap
 from repro.runtime.instrument import (
@@ -31,6 +31,38 @@ class ExecResult:
     hang: bool
     response: Optional[bytes]
     blocks_executed: int = 0
+
+    @property
+    def crashed(self) -> bool:
+        return self.crash is not None
+
+
+@dataclass(slots=True)
+class TraceResult:
+    """Outcome of one whole-trace (session) execution.
+
+    Field-compatible with :class:`ExecResult` where the engine and the
+    campaign driver look (``coverage``/``crash``/``hang``/``response``/
+    ``blocks_executed``/``crashed``): ``coverage`` is the map
+    *accumulated across every executed step* (the trace's path
+    identity), ``crash`` the fault of the step that raised, attributed
+    by ``crash_step``.
+    """
+
+    coverage: Optional[CoverageMap]
+    crash: Optional[CrashReport]
+    hang: bool
+    #: the last step's response (ExecResult compatibility)
+    response: Optional[bytes]
+    blocks_executed: int = 0
+    #: how many steps actually executed (a crash/hang stops the trace)
+    steps_executed: int = 0
+    #: index of the step that crashed (or hung), None when none did
+    crash_step: Optional[int] = None
+    #: per-step responses, as observed (None = no reply)
+    responses: List[Optional[bytes]] = field(default_factory=list)
+    #: per-step wire bytes as actually sent (post-binding)
+    sent: List[bytes] = field(default_factory=list)
 
     @property
     def crashed(self) -> bool:
@@ -94,6 +126,58 @@ class Target:
             coverage = None
         return ExecResult(coverage=coverage, crash=crash, hang=hang,
                           response=response, blocks_executed=blocks)
+
+    def run_trace(self, steps: Sequence[Tuple[bytes, Optional[str]]],
+                  binder=None) -> TraceResult:
+        """Execute a whole multi-packet trace against one live session.
+
+        The server is reset **once**, at the trace boundary; every step
+        then runs against the same server instance *and the same
+        simulated heap*, so cross-packet state (sequence numbers,
+        select-before-operate latches, lingering allocations) carries
+        over exactly as it would on a real connection.  Coverage is
+        accumulated across steps into one trace-level map, and a crash
+        is attributed to the step that raised it (the trace stops
+        there — the session is gone).
+
+        *binder* (optional, duck-typed — see
+        :class:`repro.state.binder.TraceBinder`) is consulted around
+        each step: ``prepare(index, packet)`` returns the wire bytes to
+        actually send (response-derived bindings applied), and
+        ``observe(index, response)`` captures session variables from
+        the reply.
+        """
+        self.server.reset()
+        heap = SimHeap()
+        accumulated = CoverageMap() if self.collector is not None else None
+        result = TraceResult(coverage=accumulated, crash=None, hang=False,
+                             response=None)
+        for index, (packet, model_name) in enumerate(steps):
+            self.executions += 1
+            wire = packet if binder is None else binder.prepare(index, packet)
+            result.sent.append(wire)
+            if self.collector is not None:
+                with self.collector:
+                    crash, hang, response = self._dispatch(
+                        heap, wire, model_name)
+                result.blocks_executed += self.collector.blocks_executed
+                accumulated.absorb(self.collector.map)
+            else:
+                crash, hang, response = self._dispatch(heap, wire, model_name)
+            result.steps_executed = index + 1
+            result.responses.append(response)
+            result.response = response
+            if crash is not None:
+                result.crash = crash
+                result.crash_step = index
+                break
+            if hang:
+                result.hang = True
+                result.crash_step = index
+                break
+            if binder is not None:
+                binder.observe(index, response)
+        return result
 
     def _dispatch(self, heap: SimHeap, packet: bytes,
                   model_name: Optional[str]):

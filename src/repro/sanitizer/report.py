@@ -39,6 +39,16 @@ class CrashReport:
     #: tail of the touched-edge journal at fault time (triage bucketing);
     #: empty when the execution was uninstrumented
     call_sites: Tuple[int, ...] = field(default=())
+    #: session-mode context: the encoded trace whose replay crashes
+    #: (see repro.state.trace) — None for single-packet crashes
+    trace: Optional[bytes] = None
+    #: index of the crashing step within ``trace`` (None outside sessions)
+    crash_step: Optional[int] = None
+
+    @property
+    def is_session(self) -> bool:
+        """True when this crash needs a multi-packet trace to reproduce."""
+        return self.trace is not None
 
     @property
     def dedup_key(self) -> tuple:
@@ -72,6 +82,11 @@ class CrashReport:
             f"model={self.model_name or 'unknown'}):",
             hexdump(self.packet),
         ]
+        if self.is_session:
+            lines.insert(-2, "session crash: the packet below is step "
+                             f"{(self.crash_step or 0) + 1} of a "
+                             "multi-packet trace (replay the full trace "
+                             "to reproduce)")
         return "\n".join(line for line in lines if line != "")
 
 

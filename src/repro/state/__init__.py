@@ -1,0 +1,52 @@
+"""Stateful session fuzzing: state models, traces and the session engine.
+
+The paper's loop (and :class:`~repro.core.engine.PeachStar`) is strictly
+single-packet: ``Target.run`` resets the server before every execution,
+so every stateful branch — IEC 104 STARTDT/STOPDT gating, DNP3
+select-before-operate, Modbus listen-only mode — is unreachable by
+construction.  This subsystem makes multi-packet *traces* the unit of
+fuzzing, AFLNet-style:
+
+* :class:`StateModel` — Pit-style protocol state machines (states with
+  send/expect transitions), declared per protocol next to the data
+  models;
+* :class:`TraceStep` / :func:`encode_trace` / :func:`decode_trace` — the
+  trace representation: ordered packets with per-step model names and
+  response-derived bindings, serialized deterministically so traces are
+  ordinary (multi-part) corpus entries;
+* :class:`TraceBinder` — applies bindings at execution time (echo the
+  server's live sequence numbers into the next packet through the
+  existing Relation/Fixup pipeline) so replayed prefixes stay honest;
+* :class:`SessionFuzzer` — the sequence-aware engine: the corpus stores
+  traces, mutation cracks one step (or splices/extends/truncates the
+  sequence) while replaying the honest prefix;
+* :func:`minimize_trace` — session-level triage: drop whole steps first,
+  then shrink the crashing step with the existing field-aware/ddmin
+  machinery.
+"""
+
+from repro.state.binder import TraceBinder
+from repro.state.engine import SessionFuzzer
+from repro.state.model import State, StateModel, StateModelError, Transition
+from repro.state.trace import (
+    TRACE_MODEL_PREFIX, TraceStep, decode_trace, encode_trace,
+    is_trace_blob, trace_model_name,
+)
+
+
+def __getattr__(name):
+    # Lazy: repro.state.triage imports repro.protocols, and the protocol
+    # packages import repro.state.model for their state models — eagerly
+    # importing triage here would close that cycle during protocols init.
+    if name in ("TraceChecker", "minimize_trace"):
+        from repro.state import triage
+        return getattr(triage, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "SessionFuzzer", "State", "StateModel", "StateModelError",
+    "TRACE_MODEL_PREFIX", "TraceBinder", "TraceChecker", "TraceStep",
+    "Transition", "decode_trace", "encode_trace", "is_trace_blob",
+    "minimize_trace", "trace_model_name",
+]

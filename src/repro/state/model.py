@@ -1,0 +1,152 @@
+"""Protocol state models: Pit-style states and send/expect transitions.
+
+A :class:`StateModel` is the session-level analog of a Peach Pit
+``<StateModel>``: named states, each with transitions that *send* a
+packet built from one of the pit's data models and optionally *expect* a
+response parseable under another model.  Transitions may capture fields
+from the parsed response into named session variables and bind session
+variables into fields of the outgoing packet — which is how the server's
+live sequence numbers (IEC 104 N(S)/N(R), Modbus transaction ids) flow
+back into the trace through the existing Relation/Fixup pipeline.
+
+State models are declared per protocol next to the data models (see
+``repro.protocols.iec104.model.make_state_model``); the session engine
+random-walks them to propose fresh traces and to extend existing ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class StateModelError(ValueError):
+    """Raised for inconsistent state-model declarations."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One edge of the state machine: send a packet, move to a state.
+
+    Parameters
+    ----------
+    send:
+        Data-model name of the packet to emit.
+    to:
+        Destination state name.
+    bind:
+        ``outgoing leaf name -> session variable``: before the packet is
+        sent, each named leaf of its (parsed) tree is overwritten with
+        the variable's current value and the packet is re-built through
+        the Relation/Fixup pipeline, keeping sizes and checksums honest.
+    expect:
+        Data-model name the response is parsed under (``None`` = the
+        response is not inspected).
+    capture:
+        ``session variable <- response leaf name``: after a response
+        parses under *expect*, each named leaf's decoded value is stored
+        into the session variable for later ``bind`` consumers.
+    weight:
+        Relative probability of this transition during a random walk.
+    """
+
+    send: str
+    to: str
+    bind: Mapping[str, str] = field(default_factory=dict)
+    expect: Optional[str] = None
+    capture: Mapping[str, str] = field(default_factory=dict)
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class State:
+    """A named protocol state and its outgoing transitions."""
+
+    name: str
+    transitions: Tuple[Transition, ...]
+
+
+class StateModel:
+    """A protocol session state machine over a pit's data models."""
+
+    def __init__(self, name: str, initial: str, states: Sequence[State]):
+        if not states:
+            raise StateModelError(f"state model {name!r} has no states")
+        names = [state.name for state in states]
+        if len(set(names)) != len(names):
+            raise StateModelError(
+                f"state model {name!r} has duplicate state names")
+        self.name = name
+        self._states: Dict[str, State] = {s.name: s for s in states}
+        if initial not in self._states:
+            raise StateModelError(
+                f"state model {name!r}: initial state {initial!r} unknown")
+        self.initial = initial
+        for state in states:
+            for transition in state.transitions:
+                if transition.to not in self._states:
+                    raise StateModelError(
+                        f"state model {name!r}: transition from "
+                        f"{state.name!r} targets unknown state "
+                        f"{transition.to!r}")
+
+    def states(self) -> Tuple[State, ...]:
+        return tuple(self._states.values())
+
+    def state(self, name: str) -> State:
+        try:
+            return self._states[name]
+        except KeyError:
+            raise StateModelError(
+                f"state model {self.name!r} has no state {name!r}") from None
+
+    def transitions_from(self, state_name: str) -> Tuple[Transition, ...]:
+        """Outgoing transitions of *state_name* (falls back to initial
+        when the recorded state no longer exists — spliced traces may
+        carry states from an older model revision)."""
+        state = self._states.get(state_name)
+        if state is None:
+            state = self._states[self.initial]
+        return state.transitions
+
+    def model_names(self) -> Tuple[str, ...]:
+        """Every data-model name referenced by send/expect, in
+        declaration order (used by the conformance matrix)."""
+        seen: List[str] = []
+        for state in self._states.values():
+            for transition in state.transitions:
+                for name in (transition.send, transition.expect):
+                    if name and name not in seen:
+                        seen.append(name)
+        return tuple(seen)
+
+    def pick_transition(self, state_name: str,
+                        rng: random.Random) -> Optional[Transition]:
+        """Weighted random pick among the state's transitions."""
+        transitions = self.transitions_from(state_name)
+        if not transitions:
+            return None
+        total = sum(t.weight for t in transitions)
+        if total <= 0:
+            return transitions[rng.randrange(len(transitions))]
+        roll = rng.random() * total
+        acc = 0.0
+        for transition in transitions:
+            acc += transition.weight
+            if roll < acc:
+                return transition
+        return transitions[-1]
+
+    def validate_against(self, pit) -> None:
+        """Raise when a referenced data model is missing from *pit*."""
+        available = {model.name for model in pit}
+        for name in self.model_names():
+            if name not in available:
+                raise StateModelError(
+                    f"state model {self.name!r} references data model "
+                    f"{name!r}, absent from pit {pit.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<StateModel {self.name!r} "
+                f"({len(self._states)} states)>")

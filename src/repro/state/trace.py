@@ -1,0 +1,123 @@
+"""Trace representation: ordered packets with models, states and bindings.
+
+A trace is the session-mode unit of fuzzing: an ordered list of
+:class:`TraceStep`, each carrying the wire bytes *as generated*, the
+data model that produced them, the state-model state reached after the
+step, and the binding/capture declarations copied from the transition
+that emitted it.  Bindings are applied at execution time (see
+:class:`~repro.state.binder.TraceBinder`), so the stored bytes of a
+prefix stay valid even when an earlier step's mutation changes what the
+server replies.
+
+``encode_trace``/``decode_trace`` give traces a deterministic canonical
+byte form (compact sorted-key JSON), which is what lets the rest of the
+system treat them as ordinary corpus entries: the campaign workspace
+persists them as one ``.bin`` per trace, fleet sync ships them between
+shards unchanged, and kill-and-resume rebuilds the trace pool from the
+corpus directory byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: corpus-entry model-name prefix marking an encoded trace
+TRACE_MODEL_PREFIX = "session:"
+
+#: bump when the encoded layout changes incompatibly
+TRACE_FORMAT = 1
+
+_MAGIC = b'{"fmt": '
+
+
+class TraceError(ValueError):
+    """Raised for blobs that do not decode as a trace."""
+
+
+@dataclass
+class TraceStep:
+    """One packet of a session trace.
+
+    ``tree`` is only populated for steps generated in the current
+    iteration (the cracker consumes it); replayed or restored steps
+    carry ``None`` and are re-parsed on demand.
+    """
+
+    model_name: str
+    packet: bytes
+    #: state-model state reached after this step (walk continuation)
+    state: str = ""
+    #: outgoing leaf name -> session variable (applied at execution)
+    bind: Dict[str, str] = field(default_factory=dict)
+    #: session variable <- response leaf name
+    capture: Dict[str, str] = field(default_factory=dict)
+    #: data model the response is parsed under for capture
+    expect: Optional[str] = None
+    tree: Optional[object] = None
+    #: packet came from donor splicing (statistics only, not encoded)
+    semantic: bool = False
+
+
+def trace_model_name(state_model_name: str) -> str:
+    """Corpus ``model_name`` for traces of one state model."""
+    return TRACE_MODEL_PREFIX + state_model_name
+
+
+def is_trace_blob(blob: bytes) -> bool:
+    """Cheap structural test: does *blob* look like an encoded trace?"""
+    return blob.startswith(_MAGIC)
+
+
+def encode_trace(steps: Sequence[TraceStep]) -> bytes:
+    """Canonical deterministic byte form of a trace.
+
+    Compact JSON with sorted keys: identical steps always produce
+    identical bytes, which the resume-determinism and fleet-sync
+    machinery rely on.
+    """
+    payload = {
+        "fmt": TRACE_FORMAT,
+        "steps": [
+            {
+                "b": dict(step.bind),
+                "c": dict(step.capture),
+                "e": step.expect,
+                "m": step.model_name,
+                "p": step.packet.hex(),
+                "s": step.state,
+            }
+            for step in steps
+        ],
+    }
+    return json.dumps(payload, sort_keys=True,
+                      separators=(", ", ": ")).encode("ascii")
+
+
+def decode_trace(blob: bytes) -> List[TraceStep]:
+    """Inverse of :func:`encode_trace`."""
+    try:
+        payload = json.loads(blob.decode("ascii"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise TraceError(f"not an encoded trace: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("fmt") != TRACE_FORMAT:
+        raise TraceError(
+            f"unsupported trace format {payload.get('fmt')!r}"
+            if isinstance(payload, dict) else "not an encoded trace")
+    steps = []
+    try:
+        for blob_step in payload["steps"]:
+            steps.append(TraceStep(
+                model_name=blob_step["m"],
+                packet=bytes.fromhex(blob_step["p"]),
+                state=blob_step.get("s", ""),
+                bind=dict(blob_step.get("b", {})),
+                capture=dict(blob_step.get("c", {})),
+                expect=blob_step.get("e"),
+            ))
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        # callers tolerate foreign/corrupt corpus entries by catching
+        # TraceError — a malformed payload must not leak anything else
+        raise TraceError(f"malformed trace payload: {exc!r}") from exc
+    return steps

@@ -163,6 +163,19 @@ def _pending_from_json(entries: list, pit) -> list:
     return pending
 
 
+def _report_from_meta(meta: dict, packet: bytes) -> CrashReport:
+    """Rebuild a persisted crash report (session context included)."""
+    trace = meta.get("trace")
+    return CrashReport(
+        kind=meta["kind"], site=meta["site"], detail=meta["detail"],
+        packet=packet, model_name=meta["model_name"],
+        execution_index=meta["execution_index"],
+        call_sites=tuple(meta["call_sites"]),
+        trace=bytes.fromhex(trace) if trace is not None else None,
+        crash_step=meta.get("crash_step"),
+    )
+
+
 class CampaignWorkspace:
     """On-disk store for one campaign (create fresh, or attach to resume)."""
 
@@ -356,6 +369,11 @@ class CampaignWorkspace:
             "hours": hours,
             "call_sites": list(report.call_sites),
         }
+        if report.trace is not None:
+            # session crash: the provoking step is in .bin; the full
+            # trace needed to reproduce it rides along in the metadata
+            meta["trace"] = report.trace.hex()
+            meta["crash_step"] = report.crash_step
         _atomic_write(stem + ".json",
                       json.dumps(meta, indent=2, sort_keys=True) + "\n")
 
@@ -472,12 +490,7 @@ class CampaignWorkspace:
         for meta in self._load_crash_entries(exec_limit, prune=True):
             with open(meta["_bin"], "rb") as handle:
                 packet = handle.read()
-            report = CrashReport(
-                kind=meta["kind"], site=meta["site"], detail=meta["detail"],
-                packet=packet, model_name=meta["model_name"],
-                execution_index=meta["execution_index"],
-                call_sites=tuple(meta["call_sites"]),
-            )
+            report = _report_from_meta(meta, packet)
             engine.crashes.add(report, meta["hours"])
             crash_times[report.dedup_key] = meta["hours"]
         engine.crashes.total_crashes = state["stats"]["crashes_total"]
@@ -596,12 +609,7 @@ class CampaignWorkspace:
         for meta in self._load_crash_entries():
             with open(meta["_bin"], "rb") as handle:
                 packet = handle.read()
-            reports.append(CrashReport(
-                kind=meta["kind"], site=meta["site"], detail=meta["detail"],
-                packet=packet, model_name=meta["model_name"],
-                execution_index=meta["execution_index"],
-                call_sites=tuple(meta["call_sites"]),
-            ))
+            reports.append(_report_from_meta(meta, packet))
         return reports
 
     def crash_times(self) -> Dict[tuple, float]:

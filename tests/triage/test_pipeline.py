@@ -24,6 +24,24 @@ class TestTriagePipeline:
             with open(crash.packet_path, "rb") as handle:
                 assert handle.read() == crash.final_packet
 
+    def test_pooled_minimization_matches_serial(self, lib60870_crashes):
+        """The process-pool fan-out (jobs>1) is a wall-clock knob only:
+        per-crash minimizations are independent, so pooled results are
+        bit-identical to the serial pass."""
+        spec, crashes = lib60870_crashes
+        serial = triage_reports(spec, crashes, jobs=1)
+        pooled = triage_reports(spec, crashes, jobs=2)
+
+        def signature(report):
+            return [(crash.bucket.slug(),
+                     crash.minimization.confirmed,
+                     crash.minimization.minimized,
+                     crash.minimization.dedup_key)
+                    for crash in report.crashes]
+
+        assert signature(serial) == signature(pooled)
+        assert pooled.executions_spent == serial.executions_spent
+
     def test_table_renders_severity_and_sizes(self, lib60870_crashes):
         spec, crashes = lib60870_crashes
         report = triage_reports(spec, crashes, minimize=False)
