@@ -173,21 +173,23 @@ SESSIONS_TARGET = "iec104"
 SESSIONS_SEED = 700
 
 
-def _session_only_edges(spec) -> int:
+def _session_only_edges(spec, stopdt_model: str,
+                        follower_models: tuple) -> set:
     """Directed measurement: edges only a live session can reach.
 
-    STOPDT followed by an I-frame in one session covers the
+    A STOPDT act followed by an I-frame in one session covers the
     ``not started`` drop paths; the same packets executed one-at-a-time
     (reset between — single-packet mode by definition) never can.
+    Works on both IEC 104-family stacks (their gates are isomorphic).
     """
     from repro.protocols import PROTOCOLS_PATH_PREFIX
     from repro.runtime.instrument import make_line_collector
     from repro.runtime.target import Target
 
     pit = spec.make_pit()
-    stopdt = pit.model("iec104.stopdt").build_bytes()
-    followers = (pit.model("iec104.interrogation").build_bytes(),
-                 pit.model("iec104.single_command").build_bytes())
+    stopdt = pit.model(stopdt_model).build_bytes()
+    followers = tuple(pit.model(name).build_bytes()
+                      for name in follower_models)
     collector = make_line_collector((PROTOCOLS_PATH_PREFIX,))
     target = Target(spec.make_server, collector)
     single_union = set()
@@ -197,7 +199,7 @@ def _session_only_edges(spec) -> int:
     for follower in followers:
         trace = target.run_trace([(stopdt, None), (follower, None)])
         session_edges |= set(trace.coverage.journal)
-    return len(session_edges - single_union)
+    return session_edges - single_union
 
 
 def _sessions_vs_single_packet() -> dict:
@@ -238,7 +240,75 @@ def _sessions_vs_single_packet() -> dict:
             single.executions / max(single_secs, 1e-9), 1),
         "paths_ratio": round(
             session.final_paths / max(single.final_paths, 1), 2),
-        "session_only_edges": _session_only_edges(spec),
+        "session_only_edges": len(_session_only_edges(
+            spec, "iec104.stopdt",
+            ("iec104.interrogation", "iec104.single_command"))),
+    }
+
+
+#: learned-vs-scripted comparison targets: IEC 104 diffs the learner
+#: against the richest hand-written machine; lib60870 had *no* hand
+#: model before PR 5, so its learned-session-vs-single-packet ratio is
+#: the zero-modelling-effort payoff
+LEARNED_TARGET = "iec104"
+LEARNED_UNMODELLED_TARGET = "lib60870"
+LEARNED_SEED = 800
+
+
+def _learned_vs_scripted() -> dict:
+    """Path discovery: response-learned vs hand-written state machines.
+
+    Same simulated budget, same seed, three campaigns on IEC 104 —
+    learned sessions, scripted (hand-model) sessions, single-packet —
+    plus the learned-vs-single-packet pair on lib60870 with the
+    directed count of its STOPDT-gated session-only edges and whether
+    the learning campaign actually reached them.
+    """
+    spec = get_target(LEARNED_TARGET)
+    single_config = bench_config()
+    learned_config = replace(single_config, learn_states=True)
+    scripted_config = replace(single_config, sessions=True)
+    learned = run_campaign("peach-star", spec, seed=LEARNED_SEED,
+                           config=learned_config)
+    scripted = run_campaign("peach-star", spec, seed=LEARNED_SEED,
+                            config=scripted_config)
+
+    unmodelled = get_target(LEARNED_UNMODELLED_TARGET)
+    session_only = _session_only_edges(
+        unmodelled, "lib60870.stopdt",
+        ("lib60870.interrogation", "lib60870.single_command"))
+
+    engine = make_engine("peach-star", unmodelled, LEARNED_SEED,
+                         replace(single_config, learn_states=True))
+    run_campaign("peach-star", unmodelled, seed=LEARNED_SEED,
+                 config=replace(single_config, learn_states=True),
+                 engine=engine)
+    virgin = engine.seed_pool.coverage.virgin
+    gated_reached = sum(1 for index in session_only if virgin[index])
+    single = run_campaign("peach-star", unmodelled, seed=LEARNED_SEED,
+                          config=single_config)
+    return {
+        "target": LEARNED_TARGET,
+        "engine": "peach-star",
+        "learned_paths": learned.final_paths,
+        "scripted_paths": scripted.final_paths,
+        "learned_edges": learned.final_edges,
+        "scripted_edges": scripted.final_edges,
+        "learned_states": learned.stats.get("learned_states", 0),
+        "learned_traces": learned.stats.get("traces", 0),
+        "scripted_traces": scripted.stats.get("traces", 0),
+        "paths_ratio": round(
+            learned.final_paths / max(scripted.final_paths, 1), 2),
+        "unmodelled": {
+            "target": LEARNED_UNMODELLED_TARGET,
+            "learned_paths": engine.path_count,
+            "single_packet_paths": single.final_paths,
+            "learned_edges": engine.seed_pool.edge_count,
+            "single_packet_edges": single.final_edges,
+            "learned_states": engine.stats.learned_states,
+            "session_only_edges": len(session_only),
+            "session_only_edges_reached": gated_reached,
+        },
     }
 
 
@@ -303,6 +373,7 @@ def _throughput():
         },
         "fleet_vs_serial": _fleet_vs_serial(),
         "sessions_vs_single_packet": _sessions_vs_single_packet(),
+        "learned_vs_scripted": _learned_vs_scripted(),
         "trajectory": _trim_trajectory(prior + [current_entry]),
         "regression": {
             "prior_best_execs_per_sec": prior_best,
@@ -347,6 +418,17 @@ def test_throughput_artifact(benchmark):
                 f"{sessions['session_edges']} vs "
                 f"{sessions['single_packet_edges']} edges, "
                 f"{sessions['session_only_edges']} session-only edges")
+    learned = payload["learned_vs_scripted"]
+    rows.append(f"learned vs scripted sessions (on {learned['target']}): "
+                f"{learned['learned_paths']} vs "
+                f"{learned['scripted_paths']} paths "
+                f"({learned['learned_states']} states learned); "
+                f"{learned['unmodelled']['target']} learned vs "
+                f"single-packet: {learned['unmodelled']['learned_paths']} "
+                f"vs {learned['unmodelled']['single_packet_paths']} paths, "
+                f"{learned['unmodelled']['session_only_edges_reached']}/"
+                f"{learned['unmodelled']['session_only_edges']} "
+                f"gated edges reached")
     rows.append(f"artifact: {path}")
     print_block("Wall-clock throughput (execs/sec)", "\n".join(rows))
     for engines in payload["targets"].values():
@@ -377,6 +459,28 @@ def test_sessions_vs_single_packet_entry(benchmark):
     assert sessions["session_traces"] > 0
     assert sessions["session_executions"] >= sessions["session_traces"]
     assert sessions["session_only_edges"] > 0
+
+
+def test_learned_vs_scripted_entry(benchmark):
+    """The state-learning comparison is recorded and structurally sane:
+    both modes discover paths, the learner infers a non-trivial
+    automaton, and lib60870's state-gated session-only edges exist.
+    The reached-the-gated-edges claim needs the near-full budget (a
+    2-hour smoke campaign is a handful of traces)."""
+    payload = benchmark.pedantic(_throughput, rounds=1, iterations=1)
+    learned = payload["learned_vs_scripted"]
+    assert learned["learned_paths"] > 0
+    assert learned["scripted_paths"] > 0
+    assert learned["learned_traces"] > 0
+    assert learned["learned_states"] >= 2
+    unmodelled = learned["unmodelled"]
+    assert unmodelled["learned_paths"] > 0
+    assert unmodelled["single_packet_paths"] > 0
+    assert unmodelled["session_only_edges"] > 0
+    if CLAIMS_ENABLED:
+        assert unmodelled["session_only_edges_reached"] > 0, (
+            "a full-budget learning campaign on lib60870 must reach "
+            "the STOPDT-gated drop edges")
 
 
 def test_sparse_pipeline_at_least_3x_dense(benchmark):

@@ -23,13 +23,20 @@ def render_fleet_table(fleet: FleetResult) -> str:
         f"{'edges':>6} {'crashes':>7} {'hours':>6}",
         "-" * 50,
     ]
+    learning = any(result.stats.get("learned_states", 0)
+                   for result in fleet.shard_results)
     for shard, result in enumerate(fleet.shard_results):
         imported = result.stats.get("imported_seeds", 0)
         hours = result.series[-1][0] if result.series else 0.0
-        lines.append(
+        row = (
             f"{shard:>5} {result.executions:>7} {result.final_paths:>6} "
             f"{imported:>8} {result.final_edges:>6} "
             f"{len(result.unique_crashes):>7} {hours:>6.1f}")
+        if learning:
+            # each shard of a --learn-states fleet grows its own
+            # automaton from the responses it observed
+            row += f"  ({result.stats.get('learned_states', 0)} states)"
+        lines.append(row)
     lines.append("-" * 50)
     lines.append(f"merged: {fleet.merged_paths} unique paths, "
                  f"{fleet.merged_crashes.unique_count()} unique "

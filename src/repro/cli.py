@@ -55,8 +55,13 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
 def _add_sessions_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sessions", action="store_true",
                         help="session mode: fuzz multi-packet traces over "
-                             "the target's state model (iec104, libmodbus "
-                             "and opendnp3 ship one)")
+                             "the target's hand-written state model (all "
+                             "six targets ship one)")
+    parser.add_argument("--learn-states", action="store_true",
+                        help="session mode over an AFLNet-style state "
+                             "machine learned online from response "
+                             "features — needs no hand-written state "
+                             "model, works on every target")
 
 
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
@@ -70,6 +75,7 @@ def _config(args) -> CampaignConfig:
                           max_executions=args.max_execs,
                           coverage_backend=args.backend,
                           sessions=getattr(args, "sessions", False),
+                          learn_states=getattr(args, "learn_states", False),
                           workspace=getattr(args, "workspace", None))
 
 
@@ -77,6 +83,10 @@ def _print_campaign_summary(result, verbose: bool = False) -> None:
     print(f"engine={result.engine_name} target={result.target_name}")
     print(f"executions={result.executions} "
           f"paths={result.final_paths} edges={result.final_edges}")
+    learned = result.stats.get("learned_states", 0)
+    if learned:
+        print(f"learned states: {learned} "
+              f"(traces: {result.stats.get('traces', 0)})")
     print(f"unique crashes: {len(result.unique_crashes)}")
     for report in result.unique_crashes:
         hours = result.crash_times.get(report.dedup_key, 0.0)

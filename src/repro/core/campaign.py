@@ -92,6 +92,11 @@ class CampaignConfig:
     #: ``executions`` then counts trace *steps*, so budgets stay
     #: comparable with single-packet campaigns.
     sessions: bool = False
+    #: state learning: session mode over an AFLNet-style automaton
+    #: inferred online from response features instead of a hand-written
+    #: state model — works on *every* target, modelled or not (see
+    #: `peachstar fuzz --learn-states`).  Implies session semantics.
+    learn_states: bool = False
     #: session mode: length bound for fresh state-model walks
     max_trace_steps: int = 6
     #: line-coverage backend: "auto" | "monitoring" | "settrace"
@@ -129,15 +134,22 @@ def validate_session_support(engine_name: str, target_spec,
     shard workspace first — failing later would leave a half-built
     fleet behind).
     """
-    if not config.sessions:
+    if not config.sessions and not config.learn_states:
         return
     if engine_name != "peach-star":
         raise ValueError("session mode needs the peach-star engine "
                          f"(got {engine_name!r})")
+    if config.sessions and config.learn_states:
+        raise ValueError(
+            "--sessions (hand-written state model) and --learn-states "
+            "(learned automaton) are mutually exclusive; pick one")
+    if config.learn_states:
+        return  # the learner needs no hand-written state model
     if target_spec.make_state_model is None:
         raise ValueError(
             f"target {target_spec.name!r} ships no state model; "
-            "session mode is unavailable for it")
+            "session mode is unavailable for it (state learning via "
+            "--learn-states works on every target)")
 
 
 def make_engine(engine_name: str, target_spec, seed: int,
@@ -157,11 +169,21 @@ def make_engine(engine_name: str, target_spec, seed: int,
     target = Target(target_spec.make_server, collector)
     clock = SimulatedClock(target_spec.cost_model)
     pit = target_spec.make_pit()
-    if config.sessions:
+    if config.sessions or config.learn_states:
         validate_session_support(engine_name, target_spec, config)
         from repro.state.engine import SessionFuzzer  # late: layering
+        if config.learn_states:
+            from repro.state.learner import (
+                LearnedStateModel, binding_hints,
+            )
+            hand_model = target_spec.make_state_model() \
+                if target_spec.make_state_model is not None else None
+            state_model = LearnedStateModel(
+                pit, hints=binding_hints(hand_model))
+        else:
+            state_model = target_spec.make_state_model()
         return SessionFuzzer(pit, target, rng, clock, policy=config.policy,
-                             state_model=target_spec.make_state_model(),
+                             state_model=state_model,
                              max_trace_steps=config.max_trace_steps,
                              semantic_batch=config.semantic_batch,
                              semantic_ratio=config.semantic_ratio,

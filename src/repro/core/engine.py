@@ -63,6 +63,9 @@ class EngineStats:
     imported_seeds: int = 0
     #: session mode: whole traces executed (``executions`` counts steps)
     traces: int = 0
+    #: response-feature classes observed by a state-learning campaign
+    #: (0 for single-packet and hand-modelled session campaigns)
+    learned_states: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -74,6 +77,7 @@ class EngineStats:
             "puzzles": self.puzzles,
             "imported_seeds": self.imported_seeds,
             "traces": self.traces,
+            "learned_states": self.learned_states,
         }
 
 

@@ -82,9 +82,10 @@ class Transformer:
 class _ParseState:
     """Mutable cursor shared across the recursive parse."""
 
-    __slots__ = ("data", "extents", "counts", "strict")
+    __slots__ = ("data", "extents", "counts", "strict", "enforce_tokens")
 
-    def __init__(self, data: bytes, strict: bool = True):
+    def __init__(self, data: bytes, strict: bool = True,
+                 enforce_tokens: bool = True):
         self.data = data
         # target field name -> byte extent announced by a SizeOf carrier
         self.extents: Dict[str, int] = {}
@@ -93,6 +94,10 @@ class _ParseState:
         # False = tolerate leaf constraint violations (triage shrinking
         # needs trees for crashing mutants whose *values* are illegal)
         self.strict = strict
+        # False = decode mismatching token bytes instead of rejecting
+        # them (the response classifier reads a server reply through a
+        # *request* model, whose opcode tokens legitimately differ)
+        self.enforce_tokens = enforce_tokens
 
 
 class DataModel:
@@ -288,7 +293,8 @@ class DataModel:
     # ------------------------------------------------------------------
 
     def parse(self, data: bytes, *, verify_fixups: bool = False,
-              strict: bool = True) -> InsTree:
+              strict: bool = True, lenient_tokens: bool = False,
+              allow_trailing: bool = False) -> InsTree:
         """Match *data* against this model, returning its InsTree.
 
         Raises :class:`ParseError` when the bytes are not legal under this
@@ -304,13 +310,23 @@ class DataModel:
         announced extents are clamped to the available data, and greedy
         repeats stop at the cut — so any truncation of a parseable
         packet still yields a (normalized) InsTree.
+
+        ``lenient_tokens=True`` additionally decodes mismatching token
+        bytes instead of rejecting them, and ``allow_trailing=True``
+        tolerates unconsumed trailing bytes; the state learner's
+        response classifier uses both to read server *replies* through
+        the request-direction models (a reply legitimately carries a
+        different opcode token and may be longer than any request
+        shape).  Neither affects the default (enforcing) behaviour the
+        cracker, binder and triage paths rely on.
         """
         if self.transformer is not None:
             data = self.transformer.decode(data) if strict else \
                 self.transformer.decode_lenient(data)
-        state = _ParseState(data, strict=strict)
+        state = _ParseState(data, strict=strict,
+                            enforce_tokens=not lenient_tokens)
         node, pos = self._parse_node(self.root, state, 0, len(data))
-        if pos != len(data):
+        if pos != len(data) and not allow_trailing:
             raise ParseError(
                 f"{self.name}: {len(data) - pos} trailing bytes")
         self._assemble(node, 0)
@@ -374,7 +390,8 @@ class DataModel:
             return InsNode(field, value=value, raw=raw), end
         raw = state.data[pos:pos + width]
         value = field.decode(raw)
-        if field.token and value != field.default_value():
+        if field.token and state.enforce_tokens and \
+                value != field.default_value():
             raise ParseError(
                 f"{field.name}: token mismatch ({value!r} != "
                 f"{field.default_value()!r})")

@@ -39,8 +39,9 @@ class TargetSpec:
     cost_model: CostModel
     seeded_bug_sites: FrozenSet[Tuple[str, str]] = frozenset()
     description: str = ""
-    #: session state machine factory (None = no session mode for this
-    #: target yet; `peachstar fuzz --sessions` requires one)
+    #: session state machine factory — all six targets ship one (the
+    #: `peachstar fuzz --sessions` hand-modelled mode requires it;
+    #: `--learn-states` infers an automaton instead and works without)
     make_state_model: Optional[Callable] = None
 
     @property
@@ -103,6 +104,7 @@ _register(TargetSpec(
     paper_project="lib60870",
     make_server=lib60870.Lib60870Server,
     make_pit=lib60870.make_pit,
+    make_state_model=lib60870.make_state_model,
     cost_model=_costs(43.0),
     seeded_bug_sites=frozenset({
         ("SEGV", "cs101_asdu.c:CS101_ASDU_getCOT"),
@@ -128,6 +130,7 @@ _register(TargetSpec(
     paper_project="libiec61850",
     make_server=iec61850.Iec61850Server,
     make_pit=iec61850.make_pit,
+    make_state_model=iec61850.make_state_model,
     cost_model=_costs(60.0),
     seeded_bug_sites=frozenset(),
     description="MMS server over TPKT/COTP/BER (libiec61850 analog)",
@@ -138,6 +141,7 @@ _register(TargetSpec(
     paper_project="libiec iccp mod",
     make_server=iccp.IccpServer,
     make_pit=iccp.make_pit,
+    make_state_model=iccp.make_state_model,
     cost_model=_costs(48.0),
     seeded_bug_sites=frozenset({
         ("SEGV", "iccp_im.c:im_lookup"),

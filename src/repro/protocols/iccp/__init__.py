@@ -4,10 +4,10 @@ from repro.protocols.iccp.codec import (
     build_associate, build_info_report, build_read, build_tpkt_cotp,
     build_write,
 )
-from repro.protocols.iccp.model import make_pit
+from repro.protocols.iccp.model import make_pit, make_state_model
 from repro.protocols.iccp.server import IccpServer
 
 __all__ = [
     "IccpServer", "build_associate", "build_info_report", "build_read",
-    "build_tpkt_cotp", "build_write", "make_pit",
+    "build_tpkt_cotp", "build_write", "make_pit", "make_state_model",
 ]

@@ -14,6 +14,7 @@ from repro.model import (
     Blob, Block, DataModel, Field, Number, Pit, Str, size_of,
 )
 from repro.protocols.iccp import codec
+from repro.state.model import State, StateModel, Transition
 
 
 def _tlv(prefix: str, tag: int, content: Sequence[Field], *,
@@ -149,3 +150,47 @@ def make_pit() -> Pit:
         ], weight=0.6),
     ]
     return Pit("iccp", models)
+
+
+def make_state_model() -> StateModel:
+    """Session state machine for the libiec_iccp_mod target.
+
+    Tracks the bilateral-table association the single-packet loop
+    resets away: an associate carrying the wrong bilateral table id
+    drops the endpoint into the unassociated state, where every
+    confirmed service is answered with the association error — a
+    response class (and error path) no single packet can observe,
+    because ``reset()`` restores the association before each execution.
+    The rejected associate is forced deterministically by *pinning* the
+    ``blt_value`` leaf of the shared associate model (the SizeOf
+    relation over the name keeps the framing honest), so no dedicated
+    data model is needed.
+
+    Transfer-set / data-value state (a ``write_data_value`` changing
+    what a later indexed read returns) also persists across a session's
+    packets.  No captures: responses are confirmed-RESPONSE/ERROR PDUs
+    the request-direction models do not parse.
+    """
+    associated = State("associated", (
+        Transition("iccp.read_transfer_set", "associated"),
+        Transition("iccp.read_data_value", "associated"),
+        Transition("iccp.read_data_value_indexed", "associated",
+                   weight=0.8),
+        Transition("iccp.write_data_value", "associated", weight=0.8),
+        Transition("iccp.info_report", "associated", weight=0.6),
+        Transition("iccp.read_next_set", "associated", weight=0.4),
+        Transition("iccp.raw_mms", "associated", weight=0.5),
+        Transition("iccp.associate", "associated", weight=0.3),
+        Transition("iccp.associate", "unassociated", weight=0.8,
+                   pin={"blt_value": "DENY-TBL"}),
+    ))
+    unassociated = State("unassociated", (
+        Transition("iccp.associate", "associated", weight=1.2),
+        Transition("iccp.read_data_value", "unassociated"),
+        Transition("iccp.write_data_value", "unassociated", weight=0.5),
+        Transition("iccp.info_report", "unassociated", weight=0.4),
+        Transition("iccp.associate", "unassociated", weight=0.3,
+                   pin={"blt_value": "DENY-TBL"}),
+    ))
+    return StateModel("iccp.session", "associated",
+                      (associated, unassociated))

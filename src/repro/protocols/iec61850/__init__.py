@@ -5,12 +5,13 @@ from repro.protocols.iec61850.codec import (
     build_initiate_request, build_read_request, build_tpkt_cotp,
     build_write_request, object_name, strip_tpkt_cotp, variable_spec,
 )
-from repro.protocols.iec61850.model import make_pit
+from repro.protocols.iec61850.model import make_pit, make_state_model
 from repro.protocols.iec61850.server import Iec61850Server
 
 __all__ = [
     "Iec61850Server", "build_conclude_request", "build_get_name_list",
     "build_identify_request", "build_initiate_request", "build_read_request",
-    "build_tpkt_cotp", "build_write_request", "make_pit", "object_name",
+    "build_tpkt_cotp", "build_write_request", "make_pit",
+    "make_state_model", "object_name",
     "strip_tpkt_cotp", "variable_spec",
 ]

@@ -16,6 +16,7 @@ from repro.model import (
     Blob, Block, DataModel, Field, Number, Pit, Str, size_of,
 )
 from repro.protocols.iec61850 import codec
+from repro.state.model import State, StateModel, Transition
 
 DEFAULT_DOMAIN = "IED1_LD0"
 DEFAULT_ITEM = "LLN0$ST$Mod$stVal"
@@ -200,3 +201,45 @@ def make_pit() -> Pit:
         ], weight=0.7),
     ]
     return Pit("iec61850", models)
+
+
+def make_state_model() -> StateModel:
+    """Session state machine for the libiec61850 target.
+
+    Tracks the MMS association lifecycle the single-packet loop resets
+    away: ``conclude`` releases the association, after which confirmed
+    services on the same connection hit the server's
+    not-associated reject path — unreachable in single-packet mode
+    because ``reset()`` re-establishes the association before every
+    execution.  Cross-packet IED-model state (a ``write`` changing what
+    a later ``read`` returns) rides the same sessions.
+
+    No captures are declared: the server answers with
+    confirmed-RESPONSE PDUs (tag 0xA1) that the request-direction
+    models (tag 0xA0 tokens) deliberately do not parse.
+    """
+    associated = State("associated", (
+        Transition("iec61850.read_variable", "associated"),
+        Transition("iec61850.read_two_variables", "associated", weight=0.6),
+        Transition("iec61850.write_bool", "associated", weight=0.8),
+        Transition("iec61850.write_int", "associated", weight=0.8),
+        Transition("iec61850.get_name_list_vmd", "associated", weight=0.5),
+        Transition("iec61850.get_name_list_domain", "associated",
+                   weight=0.5),
+        Transition("iec61850.get_var_attributes", "associated", weight=0.5),
+        Transition("iec61850.status", "associated", weight=0.4),
+        Transition("iec61850.identify", "associated", weight=0.4),
+        Transition("iec61850.raw_mms", "associated", weight=0.6),
+        Transition("iec61850.initiate", "associated", weight=0.3),
+        Transition("iec61850.conclude", "concluded", weight=0.8),
+    ))
+    concluded = State("concluded", (
+        Transition("iec61850.initiate", "associated", weight=1.2),
+        Transition("iec61850.read_variable", "concluded"),
+        Transition("iec61850.write_bool", "concluded", weight=0.5),
+        Transition("iec61850.status", "concluded", weight=0.5),
+        Transition("iec61850.raw_mms", "concluded", weight=0.4),
+        Transition("iec61850.conclude", "concluded", weight=0.3),
+    ))
+    return StateModel("iec61850.session", "associated",
+                      (associated, concluded))

@@ -136,6 +136,11 @@ class Iec61850Server(ProtocolServer):
         if tag == codec.MMS_INITIATE_REQUEST:
             return self._initiate(heap, mms, value_pos, end)
         if tag == codec.MMS_CONCLUDE_REQUEST:
+            # concluding ends the association (MMS a-release): later
+            # confirmed requests on the same connection are rejected
+            # until a fresh initiate — reset() re-arms the association,
+            # so only a live session can observe the rejected state
+            self.associated = False
             return codec.build_tpkt_cotp(
                 bytes((codec.MMS_CONCLUDE_RESPONSE, 0)))
         if tag == codec.MMS_CONFIRMED_REQUEST:

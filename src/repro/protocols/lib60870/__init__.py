@@ -4,10 +4,11 @@ from repro.protocols.lib60870.codec import (
     ELEMENT_SIZE, SUPPORTED_TYPES, build_apci_i, build_asdu, build_object,
     build_u_frame, cp56time,
 )
-from repro.protocols.lib60870.model import make_pit
+from repro.protocols.lib60870.model import make_pit, make_state_model
 from repro.protocols.lib60870.server import Lib60870Server
 
 __all__ = [
     "ELEMENT_SIZE", "Lib60870Server", "SUPPORTED_TYPES", "build_apci_i",
     "build_asdu", "build_object", "build_u_frame", "cp56time", "make_pit",
+    "make_state_model",
 ]

@@ -15,6 +15,7 @@ from typing import List
 
 from repro.model import Blob, Block, DataModel, Number, Pit, size_of
 from repro.protocols.lib60870 import codec
+from repro.state.model import State, StateModel, Transition
 
 
 def _i_frame_model(name: str, type_id: int, element_default: bytes,
@@ -43,6 +44,21 @@ def _i_frame_model(name: str, type_id: int, element_default: bytes,
             Number("recv_seq_hi", 1, default=0, semantic="recv_seq_hi"),
             Block("asdu", children),
         ]),
+    ])
+    return DataModel(f"lib60870.{name}", root, weight=weight)
+
+
+def _u_frame_model(name: str, function: int,
+                   weight: float = 0.4) -> DataModel:
+    root = Block(f"{name}.frame", [
+        Number("start", 1, default=codec.START_BYTE, token=True,
+               semantic="start_byte"),
+        Number("length", 1, default=4, token=True, semantic="apci_length"),
+        Number("ctrl1", 1, default=function, token=True,
+               semantic="u_function"),
+        Number("ctrl2", 1, default=0, semantic="ctrl2"),
+        Number("ctrl3", 1, default=0, semantic="ctrl3"),
+        Number("ctrl4", 1, default=0, semantic="ctrl4"),
     ])
     return DataModel(f"lib60870.{name}", root, weight=weight)
 
@@ -88,6 +104,12 @@ def make_pit() -> Pit:
                        bytes((0x01,)) + codec.cp56time(), weight=0.7),
         _i_frame_model("end_of_init", codec.M_EI_NA_1, bytes((0x00,)),
                        weight=0.7),
+        # dedicated STARTDT/STOPDT U-frames: the generic u_frame below
+        # keeps its token on 0x07, so without these the data-transfer
+        # gate could never be closed — the state model (and the state
+        # learner's exploration) need an emitter for each act
+        _u_frame_model("startdt", 0x07),
+        _u_frame_model("stopdt", 0x13),
         # U-frame model
         DataModel("lib60870.u_frame", Block("u_frame.frame", [
             Number("start", 1, default=codec.START_BYTE, token=True,
@@ -119,3 +141,52 @@ def make_pit() -> Pit:
         ]), weight=0.6),
     ]
     return Pit("lib60870", models)
+
+
+def make_state_model() -> StateModel:
+    """Session state machine for the lib60870 target.
+
+    Mirrors the IEC 104 machine on the bigger stack: the CS104 slave's
+    STARTDT gate is re-armed by ``reset()`` before every single-packet
+    execution, so the ``not self.started`` drop path in
+    ``_handle_asdu_frame`` is reachable **only** by a STOPDT act
+    followed by an I-frame within one live session — the state-gated
+    edges the PR 5 acceptance pin measures.
+
+    I-frame transitions capture the slave's send sequence number from
+    its reply (replies echo the request's ASDU type, so the request
+    model parses them) and bind it into the next packet's
+    receive-sequence fields through the Relation/Fixup rebuild.
+    """
+    seq_bind = {"recv_seq_lo": "peer_send_lo", "recv_seq_hi": "peer_send_hi"}
+
+    def _i(send: str, to: str, weight: float = 1.0) -> Transition:
+        return Transition(send, to, bind=dict(seq_bind), expect=send,
+                          capture={"peer_send_lo": "send_seq_lo",
+                                   "peer_send_hi": "send_seq_hi"},
+                          weight=weight)
+
+    started = State("started", (
+        _i("lib60870.interrogation", "started"),
+        _i("lib60870.counter_interrogation", "started", weight=0.6),
+        _i("lib60870.clock_sync", "started", weight=0.8),
+        _i("lib60870.read_command", "started", weight=0.6),
+        _i("lib60870.single_command", "started"),
+        _i("lib60870.setpoint_scaled", "started", weight=0.6),
+        Transition("lib60870.single_point", "started", bind=dict(seq_bind),
+                   weight=0.5),
+        Transition("lib60870.raw_asdu", "started", bind=dict(seq_bind),
+                   weight=0.7),
+        Transition("lib60870.u_frame", "started", weight=0.3),
+        Transition("lib60870.stopdt", "stopped", weight=0.8),
+    ))
+    stopped = State("stopped", (
+        Transition("lib60870.startdt", "started", weight=0.8),
+        Transition("lib60870.interrogation", "stopped", bind=dict(seq_bind)),
+        Transition("lib60870.single_command", "stopped",
+                   bind=dict(seq_bind)),
+        Transition("lib60870.raw_asdu", "stopped", bind=dict(seq_bind),
+                   weight=0.5),
+        Transition("lib60870.stopdt", "stopped", weight=0.3),
+    ))
+    return StateModel("lib60870.session", "started", (started, stopped))

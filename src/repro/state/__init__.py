@@ -25,8 +25,11 @@ fuzzing, AFLNet-style:
   machinery.
 """
 
-from repro.state.binder import TraceBinder
+from repro.state.binder import TraceBinder, apply_pins
 from repro.state.engine import SessionFuzzer
+from repro.state.learner import (
+    LearnedStateModel, ResponseClassifier, binding_hints,
+)
 from repro.state.model import State, StateModel, StateModelError, Transition
 from repro.state.trace import (
     TRACE_MODEL_PREFIX, TraceStep, decode_trace, encode_trace,
@@ -45,8 +48,9 @@ def __getattr__(name):
 
 
 __all__ = [
-    "SessionFuzzer", "State", "StateModel", "StateModelError",
-    "TRACE_MODEL_PREFIX", "TraceBinder", "TraceChecker", "TraceStep",
-    "Transition", "decode_trace", "encode_trace", "is_trace_blob",
+    "LearnedStateModel", "ResponseClassifier", "SessionFuzzer", "State",
+    "StateModel", "StateModelError", "TRACE_MODEL_PREFIX", "TraceBinder",
+    "TraceChecker", "TraceStep", "Transition", "apply_pins",
+    "binding_hints", "decode_trace", "encode_trace", "is_trace_blob",
     "minimize_trace", "trace_model_name",
 ]

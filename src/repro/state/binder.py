@@ -23,12 +23,43 @@ point of the trace.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.fixup_engine import TreeEchoProvider
 from repro.model.datamodel import Pit
 from repro.model.fields import ModelError, ParseError
 from repro.state.trace import TraceStep
+
+
+def apply_pins(model, tree, pins: Mapping[str, object]) -> Tuple[object, bytes]:
+    """Overwrite pinned leaves of a freshly built *tree* and rebuild.
+
+    The rebuild runs through ``DataModel.build``'s Relation/Fixup
+    pipeline, so sizes and checksums stay honest around the pinned
+    values (the same repair path :meth:`TraceBinder.prepare` uses for
+    session-variable bindings).  Returns the (possibly new) tree and its
+    wire bytes; a pin set that cannot be applied leaves the packet
+    untouched rather than failing the walk.
+    """
+    undo = []
+    for leaf, value in sorted(pins.items()):
+        node = tree.find(leaf)
+        if node is not None and node.is_leaf:
+            undo.append((node, node.value))
+            node.value = value
+    if not undo:
+        return tree, model.to_wire(tree)
+    try:
+        rebuilt = model.build(TreeEchoProvider(tree))
+        return rebuilt, model.to_wire(rebuilt)
+    except (ModelError, ParseError, ValueError, OverflowError,
+            TypeError, AttributeError):
+        # un-appliable pin set (bad value type included): revert the
+        # leaf edits so the returned tree stays consistent with the
+        # (original) wire bytes
+        for node, value in undo:
+            node.value = value
+        return tree, model.to_wire(tree)
 
 
 class TraceBinder:

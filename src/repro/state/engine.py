@@ -40,7 +40,7 @@ from repro.model.instree import InsTree
 from repro.model.mutators import GenerationPolicy
 from repro.runtime.clock import SimulatedClock
 from repro.runtime.target import Target
-from repro.state.binder import TraceBinder
+from repro.state.binder import TraceBinder, apply_pins
 from repro.state.model import StateModel, Transition
 from repro.state.trace import (
     TraceError, TraceStep, decode_trace, encode_trace, is_trace_blob,
@@ -101,6 +101,16 @@ class SessionFuzzer(PeachStar):
             self.clock.charge_execution(instrumented=self.uses_feedback)
         self.stats.executions += result.steps_executed
         self.stats.traces += 1
+        # state learning: a LearnedStateModel grows its automaton from
+        # the observed responses and re-annotates the executed steps
+        # with the observed states (hand-written models are a no-op) —
+        # before the trace is encoded, so the corpus stores real states
+        observe = getattr(self.state_model, "observe", None)
+        if observe is not None:
+            observe(steps, result)
+        learned = getattr(self.state_model, "learned_state_count", None)
+        if learned is not None:
+            self.stats.learned_states = learned
         semantic_steps = sum(
             1 for step in steps[:result.steps_executed] if step.semantic)
         self.stats.semantic_executions += semantic_steps
@@ -156,6 +166,9 @@ class SessionFuzzer(PeachStar):
     # -- trace production ------------------------------------------------
 
     def _produce_trace(self) -> List[TraceStep]:
+        probe = self._next_probe()
+        if probe is not None:
+            return probe
         pool = self.seed_pool.seeds
         if not pool or self.rng.random() < self.fresh_trace_prob:
             return self._fresh_walk()
@@ -170,6 +183,30 @@ class SessionFuzzer(PeachStar):
         if roll < self._OP_EXTEND:
             return self._extend(base)
         return self._truncate(base)
+
+    def _next_probe(self) -> Optional[List[TraceStep]]:
+        """Bootstrap seed sessions of a learning state model.
+
+        A :class:`~repro.state.learner.LearnedStateModel` hands out
+        default-packet walks over the pit until every request kind has
+        been observed once (its spec-derived analog of AFLNet's
+        recorded seed sessions); hand-written models have no probes.
+        Probe production draws nothing from the RNG, so it composes
+        with resume determinism trivially.
+        """
+        probe = getattr(self.state_model, "probe_transitions", None)
+        if probe is None:
+            return None
+        transitions = probe(self.max_trace_steps)
+        if not transitions:
+            return None
+        steps = []
+        for transition in transitions:
+            model = self.pit.model(transition.send)
+            tree = model.build_default()
+            steps.append(self._step_from(transition, model, tree,
+                                         model.to_wire(tree)))
+        return steps
 
     def _steps_of(self, seed) -> List[TraceStep]:
         try:
@@ -197,13 +234,21 @@ class SessionFuzzer(PeachStar):
         tree, packet = generate_packet(model, self.rng, self.policy)
         return tree, packet, False
 
-    def _make_step(self, transition: Transition) -> TraceStep:
-        model = self.pit.model(transition.send)
-        tree, packet, semantic = self._produce_step(model)
+    def _step_from(self, transition: Transition, model: DataModel,
+                   tree: InsTree, packet: bytes,
+                   semantic: bool = False) -> TraceStep:
+        """A TraceStep carrying the transition's session declarations."""
+        if transition.pin:
+            tree, packet = apply_pins(model, tree, transition.pin)
         return TraceStep(
             model_name=model.name, packet=packet, state=transition.to,
             bind=dict(transition.bind), capture=dict(transition.capture),
             expect=transition.expect, tree=tree, semantic=semantic)
+
+    def _make_step(self, transition: Transition) -> TraceStep:
+        model = self.pit.model(transition.send)
+        tree, packet, semantic = self._produce_step(model)
+        return self._step_from(transition, model, tree, packet, semantic)
 
     def _walk(self, state: str, count: int) -> List[TraceStep]:
         steps: List[TraceStep] = []

@@ -49,6 +49,13 @@ class Transition:
         into the session variable for later ``bind`` consumers.
     weight:
         Relative probability of this transition during a random walk.
+    pin:
+        ``outgoing leaf name -> constant value``: after the packet is
+        generated, each named leaf is overwritten with the constant and
+        the packet is re-built through the Relation/Fixup pipeline.
+        This is how a transition forces a *specific* variant of a
+        shared data model (e.g. the ICCP associate with a deliberately
+        wrong bilateral-table id) without needing a dedicated model.
     """
 
     send: str
@@ -57,6 +64,7 @@ class Transition:
     expect: Optional[str] = None
     capture: Mapping[str, str] = field(default_factory=dict)
     weight: float = 1.0
+    pin: Mapping[str, object] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -146,6 +154,15 @@ class StateModel:
                 raise StateModelError(
                     f"state model {self.name!r} references data model "
                     f"{name!r}, absent from pit {pit.name!r}")
+
+    def observe(self, steps, result) -> None:
+        """Post-execution hook: a hand-written machine learns nothing.
+
+        The session engine calls this after every trace execution; the
+        learned counterpart (:class:`repro.state.learner.
+        LearnedStateModel`) overrides it to grow its automaton from the
+        observed responses.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<StateModel {self.name!r} "

@@ -413,6 +413,11 @@ class CampaignWorkspace:
                 "puzzles_deposited": engine.cracker.puzzles_deposited,
             }
             state["pending"] = _pending_to_json(engine._pending)
+        state_model = getattr(engine, "state_model", None)
+        if state_model is not None and hasattr(state_model, "snapshot"):
+            # learned-state campaigns: the automaton is mutable engine
+            # state (walks depend on it), so it checkpoints with the RNG
+            state["learner"] = state_model.snapshot()
         _atomic_write(self._state_path,
                       json.dumps(state, sort_keys=True) + "\n")
 
@@ -516,6 +521,16 @@ class CampaignWorkspace:
             engine._pending.clear()
             engine._pending.extend(
                 _pending_from_json(state["pending"], engine.pit))
+
+        # -- learned-state automaton ------------------------------------------
+        if "learner" in state:
+            state_model = getattr(engine, "state_model", None)
+            if state_model is None or not hasattr(state_model, "restore"):
+                raise WorkspaceError(
+                    "workspace checkpoints a learned state automaton but "
+                    "the rebuilt engine is not a learning session fuzzer; "
+                    "workspace is corrupt or from an incompatible version")
+            state_model.restore(state["learner"])
 
         series = [(line["hours"], line["paths"])
                   for line in self._prune_jsonl(self._series_path,

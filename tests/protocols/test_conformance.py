@@ -12,10 +12,11 @@ every bundled pit (modbus, dnp3, iec104, iec61850, iccp, lib60870):
   subsystem cracks crashing mutants through this path);
 * **fuzzability** — a short seeded Peach* campaign against the bundled
   server finds at least one path without the harness failing;
-* **trace round-trip** — for every target that ships a session state
-  model, a default-packet walk over the whole machine encodes/decodes
-  bit-identically, every step parses strictly under its model, and the
-  trace replays through the session executor with bindings applied.
+* **trace round-trip** — for every target (since PR 5 **all six** ship
+  a session state model), a default-packet walk over the whole machine
+  encodes/decodes bit-identically, every step parses strictly under
+  its model (transition pins included), and the trace replays through
+  the session executor with bindings applied.
 """
 
 import random
@@ -26,7 +27,9 @@ from repro.core import CampaignConfig, run_campaign
 from repro.core.fixup_engine import TreeEchoProvider
 from repro.protocols import TARGET_NAMES, all_targets, get_target
 from repro.runtime.target import Target
-from repro.state import TraceBinder, TraceStep, decode_trace, encode_trace
+from repro.state import (
+    TraceBinder, TraceStep, apply_pins, decode_trace, encode_trace,
+)
 
 #: one pit per target, built once — model construction is pure
 _PITS = {spec.name: spec.make_pit() for spec in all_targets()}
@@ -83,8 +86,19 @@ SESSION_TARGETS = tuple(spec.name for spec in all_targets()
                         if spec.supports_sessions)
 
 
+def test_every_target_ships_a_state_model():
+    """PR 5 closed the modelling gap: the trace round-trip rows below
+    run for the full evaluation set, not a subset."""
+    assert SESSION_TARGETS == TARGET_NAMES
+
+
 def _default_walk(spec, seed: int = 0x5E55):
-    """A default-packet trace touching every state of the state model."""
+    """A default-packet trace touching every state of the state model.
+
+    Transition pins are applied exactly as the session engine applies
+    them (through the Relation/Fixup rebuild), so the walk actually
+    drives the machine — e.g. the ICCP bad-bilateral-table associate.
+    """
     state_model = spec.make_state_model()
     pit = _PITS[spec.name]
     rng = random.Random(seed)
@@ -93,9 +107,14 @@ def _default_walk(spec, seed: int = 0x5E55):
     visited = {state}
     for _ in range(32):
         transition = state_model.pick_transition(state, rng)
+        model = pit.model(transition.send)
+        tree = model.build_default()
+        if transition.pin:
+            tree, packet = apply_pins(model, tree, transition.pin)
+        else:
+            packet = model.to_wire(tree)
         steps.append(TraceStep(
-            model_name=transition.send,
-            packet=pit.model(transition.send).build_bytes(),
+            model_name=transition.send, packet=packet,
             state=transition.to, bind=dict(transition.bind),
             capture=dict(transition.capture), expect=transition.expect))
         state = transition.to

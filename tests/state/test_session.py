@@ -17,11 +17,13 @@ import sys
 
 import pytest
 
+from dataclasses import replace
+
 from repro.core import (
     CampaignConfig, resume_campaign, resume_fleet, run_campaign, run_fleet,
 )
 from repro.core.campaign import make_engine
-from repro.protocols import all_targets, get_target
+from repro.protocols import TARGET_NAMES, all_targets, get_target
 from repro.runtime.target import Target
 from repro.state import (
     StateModelError, TraceBinder, TraceStep, decode_trace, encode_trace,
@@ -32,7 +34,8 @@ from repro.state.triage import TraceChecker, minimize_trace
 from repro.store import CampaignWorkspace
 from repro.triage import triage_reports
 
-SESSION_TARGETS = ("iec104", "libmodbus", "opendnp3")
+#: since PR 5 every target ships a hand-written state model
+SESSION_TARGETS = TARGET_NAMES
 
 
 def _session_config(**overrides):
@@ -122,10 +125,10 @@ class TestStateModels:
         state_model = spec.make_state_model()
         state_model.validate_against(spec.make_pit())
 
-    def test_only_announced_targets_support_sessions(self):
+    def test_all_targets_support_sessions(self):
         supported = {spec.name for spec in all_targets()
                      if spec.supports_sessions}
-        assert supported == set(SESSION_TARGETS)
+        assert supported == set(SESSION_TARGETS) == set(TARGET_NAMES)
 
     def test_walks_stay_inside_declared_states(self, rng):
         state_model = get_target("iec104").make_state_model()
@@ -255,12 +258,21 @@ class TestTraceBinder:
 
 class TestSessionCampaign:
     def test_sessions_need_a_state_model(self):
+        # every bundled target now ships a model; an unmodelled target
+        # (the zero-effort case state learning exists for) still fails
+        # fast in hand-modelled session mode
+        unmodelled = replace(get_target("libiccp"), make_state_model=None)
         with pytest.raises(ValueError, match="state model"):
-            make_engine("peach-star", get_target("libiccp"), 0,
-                        _session_config())
+            make_engine("peach-star", unmodelled, 0, _session_config())
         with pytest.raises(ValueError, match="peach-star"):
             make_engine("peach", get_target("iec104"), 0,
                         _session_config())
+        # --learn-states lifts the requirement (it replaces --sessions;
+        # the two flags together are rejected)
+        engine = make_engine("peach-star", unmodelled, 0,
+                             _session_config(sessions=False,
+                                             learn_states=True))
+        assert engine.state_model.learned_state_count == 0
 
     def test_session_campaign_is_deterministic(self):
         spec = get_target("iec104")
