@@ -6,7 +6,8 @@
 #                      hours / 1 repetition (claim gates skipped)
 #   make bench       — the evaluation benchmarks only (regenerates
 #                      BENCH_*.json)
-#   make test-matrix — the cross-protocol conformance matrix standalone
+#   make test-matrix — the cross-protocol conformance matrix plus the
+#                      channel-fault/differential-oracle suite
 #   make fleet-demo  — a small synced 4-shard fleet in /tmp, rendered
 #                      with the per-shard/merged summary table
 #   make sessions-demo — the stateful session-fuzzing walkthrough
@@ -31,7 +32,8 @@ bench:
 	$(PY) -m pytest benchmarks $(PYTEST_ARGS)
 
 test-matrix:
-	$(PY) -m pytest tests/protocols/test_conformance.py $(PYTEST_ARGS)
+	$(PY) -m pytest tests/protocols/test_conformance.py tests/channel \
+		$(PYTEST_ARGS)
 
 fleet-demo:
 	rm -rf $(FLEET_DEMO_DIR)

@@ -50,6 +50,13 @@ TRAJECTORY_LIMIT = 20
 #: cadence dominates fleet wall-clock at benchmark scale.
 FLEET_SHARDS = 3
 FLEET_SYNC_EVERY = 400
+#: floor gate on fleet_vs_serial.paths_per_sec_ratio: fleet overhead
+#: (pool spin-up, sync phases, shard checkpointing) may not drag the
+#: fleet below this fraction of the serial path rate.  The committed
+#: artifact records ~0.6; the floor leaves the same kind of headroom
+#: the 25% throughput tolerance does, scaled for the ratio's higher
+#: machine-to-machine variance.
+FLEET_RATIO_FLOOR = 0.35
 
 _CACHE = {}
 
@@ -446,6 +453,20 @@ def test_fleet_vs_serial_entry(benchmark):
     assert fleet["fleet_paths_per_sec"] > 0
     assert fleet["serial_paths_per_sec"] > 0
     assert len(fleet["imported_seeds"]) == fleet["shards"]
+
+
+def test_fleet_ratio_floor(benchmark):
+    """Fleet-overhead regression gate: the fleet's paths/sec may not
+    fall below ``FLEET_RATIO_FLOOR`` of the serial rate.  Smoke runs
+    skip it for the same reason as the throughput gate — compressed
+    budgets inflate the fixed per-round costs."""
+    if not CLAIMS_ENABLED:
+        pytest.skip("fleet ratio gate needs the near-full benchmark budget")
+    payload = benchmark.pedantic(_throughput, rounds=1, iterations=1)
+    ratio = payload["fleet_vs_serial"]["paths_per_sec_ratio"]
+    assert ratio >= FLEET_RATIO_FLOOR, (
+        f"fleet paths/sec is only {ratio:.2f}x the serial rate; the "
+        f"fleet-overhead gate requires >= {FLEET_RATIO_FLOOR}")
 
 
 def test_sessions_vs_single_packet_entry(benchmark):

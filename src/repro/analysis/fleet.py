@@ -38,9 +38,15 @@ def render_fleet_table(fleet: FleetResult) -> str:
             row += f"  ({result.stats.get('learned_states', 0)} states)"
         lines.append(row)
     lines.append("-" * 50)
-    lines.append(f"merged: {fleet.merged_paths} unique paths, "
-                 f"{fleet.merged_crashes.unique_count()} unique "
-                 f"crash{'es' if fleet.merged_crashes.unique_count() != 1 else ''}")
+    merged_line = (
+        f"merged: {fleet.merged_paths} unique paths, "
+        f"{fleet.merged_crashes.unique_count()} unique "
+        f"crash{'es' if fleet.merged_crashes.unique_count() != 1 else ''}")
+    divergences = fleet.merged_divergences.unique_count()
+    if divergences:
+        merged_line += f", {divergences} unique divergence" \
+                       f"{'s' if divergences != 1 else ''}"
+    lines.append(merged_line)
     for key, hours in sorted(fleet.time_to_bugs.items(),
                              key=lambda item: item[1]):
         kind, site = key

@@ -1,0 +1,32 @@
+"""Adversarial transport faults and differential parse oracles.
+
+``repro.channel`` owns the seam between the engine and the simulated
+server (:mod:`repro.channel.faults`) and the finding class that seam
+makes observable (:mod:`repro.channel.oracle`).
+"""
+
+from repro.channel.faults import (
+    FAULT_KINDS,
+    Channel,
+    DirectChannel,
+    FaultingChannel,
+)
+from repro.channel.oracle import (
+    DifferentialOracle,
+    DivergenceChecker,
+    DivergenceReport,
+    make_oracle,
+    minimize_divergence,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "Channel",
+    "DirectChannel",
+    "FaultingChannel",
+    "DifferentialOracle",
+    "DivergenceChecker",
+    "DivergenceReport",
+    "make_oracle",
+    "minimize_divergence",
+]

@@ -70,12 +70,28 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
                              "(default: REPRO_JOBS or cores-1; 1 = serial)")
 
 
+def _add_channel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--channel-faults", type=float, default=0.0,
+                        metavar="RATE", dest="channel_faults",
+                        help="per-frame transport fault probability "
+                             "(drop/duplicate/reorder/fragment/corrupt "
+                             "in flight; 0 = perfect channel). Also "
+                             "enables the differential parse oracles")
+    parser.add_argument("--differential", action="store_true",
+                        default=None,
+                        help="force the differential parse oracles on, "
+                             "even without channel faults (default: "
+                             "enabled exactly when --channel-faults > 0)")
+
+
 def _config(args) -> CampaignConfig:
     return CampaignConfig(budget_hours=args.hours,
                           max_executions=args.max_execs,
                           coverage_backend=args.backend,
                           sessions=getattr(args, "sessions", False),
                           learn_states=getattr(args, "learn_states", False),
+                          channel_faults=getattr(args, "channel_faults", 0.0),
+                          differential=getattr(args, "differential", None),
                           workspace=getattr(args, "workspace", None))
 
 
@@ -91,9 +107,21 @@ def _print_campaign_summary(result, verbose: bool = False) -> None:
     for report in result.unique_crashes:
         hours = result.crash_times.get(report.dedup_key, 0.0)
         print(f"  [{hours:5.1f}h] {report.summary_line()}")
+    if result.unique_divergences:
+        faults = result.stats.get("channel_faults", 0)
+        suffix = f" (channel faults injected: {faults})" if faults else ""
+        print(f"unique divergences: "
+              f"{len(result.unique_divergences)}{suffix}")
+        for report in result.unique_divergences:
+            print(f"  {report.summary_line()}")
     if verbose and result.unique_crashes:
         print()
         for report in result.unique_crashes:
+            print(report.render())
+            print()
+    if verbose and result.unique_divergences:
+        print()
+        for report in result.unique_divergences:
             print(report.render())
             print()
 
@@ -137,7 +165,8 @@ def cmd_fleet(args) -> int:
         return 2
     print(render_fleet_table(fleet))
     if args.verbose:
-        for report in fleet.merged_crashes.unique_reports():
+        for report in (fleet.merged_crashes.unique_reports()
+                       + fleet.merged_divergences.unique_reports()):
             print()
             print(report.render())
     print(f"fleet persisted to {args.workspace} "
@@ -151,7 +180,8 @@ def cmd_resume(args) -> int:
             fleet = resume_fleet(args.workspace, max_workers=args.jobs)
             print(render_fleet_table(fleet))
             if args.verbose:
-                for report in fleet.merged_crashes.unique_reports():
+                for report in (fleet.merged_crashes.unique_reports()
+                               + fleet.merged_divergences.unique_reports()):
                     print()
                     print(report.render())
             return 0
@@ -176,7 +206,8 @@ def cmd_triage(args) -> int:
                 return 2
             if backend == "auto":
                 backend = manifest["config"].get("coverage_backend", "auto")
-            crashes = workspace.load_crash_reports()
+            crashes = (workspace.load_crash_reports()
+                       + workspace.load_divergence_reports())
             out_dir = args.out or workspace.repro_dir
         else:
             if not args.target:
@@ -186,13 +217,13 @@ def cmd_triage(args) -> int:
             spec = get_target(args.target)
             result = run_campaign("peach-star", spec, seed=args.seed,
                                   config=_config(args))
-            crashes = result.unique_crashes
+            crashes = result.unique_crashes + result.unique_divergences
             out_dir = args.out or f"peachstar-triage-{spec.name}"
     except (WorkspaceError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if not crashes:
-        print(f"no crashes to triage on {spec.name}")
+        print(f"no findings to triage on {spec.name}")
         return 0
     report = triage_reports(
         spec, crashes, minimize=not args.no_minimize,
@@ -271,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--workspace", default=None, metavar="DIR",
                       help="persist the campaign to DIR (resumable)")
     _add_sessions_arg(fuzz)
+    _add_channel_args(fuzz)
     _add_budget_args(fuzz)
 
     fleet = sub.add_parser(
@@ -287,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--verbose", action="store_true",
                        help="print full crash reports")
     _add_sessions_arg(fleet)
+    _add_channel_args(fleet)
     _add_budget_args(fleet)
     _add_jobs_arg(fleet)
 
@@ -318,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     triage.add_argument("--verbose", action="store_true",
                         help="print the (minimized) crash reports")
     _add_sessions_arg(triage)
+    _add_channel_args(triage)
     _add_budget_args(triage)
     _add_jobs_arg(triage)
 

@@ -28,7 +28,8 @@ from repro.core.seedpool import SeedPool, ValuableSeed
 from repro.core.semantic import SemanticGenerator
 from repro.core.stats import (
     ComparisonSummary, bugs_found, compare, merge_crash_reports,
-    path_increase_pct, speedup_to_reference, time_to_bugs,
+    merge_divergence_reports, path_increase_pct, speedup_to_reference,
+    time_to_bugs,
 )
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "average_series", "bugs_found", "compare", "config_from_dict",
     "config_to_dict", "default_campaign_policy", "default_worker_count",
     "integrity_ok", "make_engine", "merge_crash_reports",
+    "merge_divergence_reports",
     "path_increase_pct", "repair", "resume_campaign", "resume_fleet",
     "run_campaign", "run_campaign_batch", "run_fleet", "run_repetitions",
     "run_repetitions_parallel", "speedup_to_reference", "time_to_bugs",

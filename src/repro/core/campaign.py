@@ -42,6 +42,9 @@ class CampaignResult:
     #: per-valuable-seed bucketed path identities, discovery order (used
     #: by the resume-determinism gate and the triage/analysis layers)
     path_hashes: Tuple[int, ...] = ()
+    #: deduplicated differential-oracle findings (empty unless the
+    #: campaign ran with an oracle attached)
+    unique_divergences: List[CrashReport] = field(default_factory=list)
 
     def paths_at(self, hours: float) -> int:
         """Paths covered at simulated time *hours* (step interpolation)."""
@@ -99,6 +102,15 @@ class CampaignConfig:
     learn_states: bool = False
     #: session mode: length bound for fresh state-model walks
     max_trace_steps: int = 6
+    #: per-frame transport fault probability (0 = no channel at all —
+    #: today's bit-exact path).  The fault RNG is derived from the
+    #: campaign seed and checkpointed, so faulted campaigns keep
+    #: kill-and-resume bit-identity.
+    channel_faults: float = 0.0
+    #: differential parse oracles (strict-vs-lenient + cross-stack):
+    #: None = auto, enabled exactly when channel_faults > 0; True/False
+    #: force it on clean or faulted campaigns respectively
+    differential: Optional[bool] = None
     #: line-coverage backend: "auto" | "monitoring" | "settrace"
     coverage_backend: str = "auto"
     #: directory to persist the campaign into (None = in-memory only).
@@ -166,9 +178,23 @@ def make_engine(engine_name: str, target_spec, seed: int,
         ("repro/protocols",),
         hang_budget=config.hang_budget,
         backend=config.coverage_backend)
-    target = Target(target_spec.make_server, collector)
+    channel = None
+    if config.channel_faults > 0.0:
+        # the extra seed draw happens only on faulted campaigns, so
+        # zero-fault runs stay bit-identical to the channel-less past
+        from repro.channel.faults import FaultingChannel
+        channel = FaultingChannel(config.channel_faults,
+                                  random.Random(rng.getrandbits(32)))
+    target = Target(target_spec.make_server, collector, channel=channel)
     clock = SimulatedClock(target_spec.cost_model)
     pit = target_spec.make_pit()
+    differential = config.differential
+    if differential is None:
+        differential = config.channel_faults > 0.0
+    oracle = None
+    if differential:
+        from repro.channel.oracle import make_oracle
+        oracle = make_oracle(target_spec, pit)
     if config.sessions or config.learn_states:
         validate_session_support(engine_name, target_spec, config)
         from repro.state.engine import SessionFuzzer  # late: layering
@@ -189,17 +215,19 @@ def make_engine(engine_name: str, target_spec, seed: int,
                              semantic_ratio=config.semantic_ratio,
                              pin_prob=config.pin_prob,
                              crack_enabled=config.crack_enabled,
-                             semantic_enabled=config.semantic_enabled)
+                             semantic_enabled=config.semantic_enabled,
+                             oracle=oracle)
     if engine_name == "peach":
         return GenerationFuzzer(pit, target, rng, clock,
-                                policy=config.policy)
+                                policy=config.policy, oracle=oracle)
     if engine_name == "peach-star":
         return PeachStar(pit, target, rng, clock, policy=config.policy,
                          semantic_batch=config.semantic_batch,
                          semantic_ratio=config.semantic_ratio,
                          pin_prob=config.pin_prob,
                          crack_enabled=config.crack_enabled,
-                         semantic_enabled=config.semantic_enabled)
+                         semantic_enabled=config.semantic_enabled,
+                         oracle=oracle)
     raise ValueError(f"unknown engine {engine_name!r}; "
                      "choices: peach, peach-star")
 
@@ -248,6 +276,9 @@ def _drive_campaign(engine_name: str, target_spec, seed: int,
             if workspace is not None:
                 workspace.record_crash(outcome.result.crash,
                                        engine.clock.hours)
+        if workspace is not None:
+            for report in outcome.new_divergences:
+                workspace.record_divergence(report, engine.clock.hours)
         if workspace is not None and outcome.valuable:
             # outcome.result.coverage is the map that made the seed
             # valuable — the collector map itself for single-packet
@@ -280,6 +311,7 @@ def _drive_campaign(engine_name: str, target_spec, seed: int,
         crash_times=crash_times,
         stats=engine.stats.as_dict(),
         path_hashes=tuple(s.path_hash for s in engine.seed_pool.seeds),
+        unique_divergences=engine.divergences.unique_reports(),
     )
     if workspace is not None:
         workspace.checkpoint(engine)
@@ -291,6 +323,7 @@ def _drive_campaign(engine_name: str, target_spec, seed: int,
             "final_paths": result.final_paths,
             "final_edges": result.final_edges,
             "unique_crashes": len(result.unique_crashes),
+            "unique_divergences": len(result.unique_divergences),
             "stats": result.stats,
         })
     return result

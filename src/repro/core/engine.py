@@ -48,6 +48,9 @@ class IterationOutcome:
     valuable: bool = False
     new_unique_crash: bool = False
     semantic: bool = False  # packet came from donor splicing
+    #: divergence reports newly deduplicated this iteration (empty
+    #: unless a differential oracle is attached)
+    new_divergences: Tuple = ()
 
 
 @dataclass(slots=True)
@@ -66,6 +69,11 @@ class EngineStats:
     #: response-feature classes observed by a state-learning campaign
     #: (0 for single-packet and hand-modelled session campaigns)
     learned_states: int = 0
+    #: divergence findings recorded by the differential oracle (total,
+    #: pre-deduplication — the analog of ``crashes_total``)
+    divergences_total: int = 0
+    #: transport faults actually injected by a faulting channel
+    channel_faults: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -78,6 +86,8 @@ class EngineStats:
             "imported_seeds": self.imported_seeds,
             "traces": self.traces,
             "learned_states": self.learned_states,
+            "divergences_total": self.divergences_total,
+            "channel_faults": self.channel_faults,
         }
 
 
@@ -99,6 +109,12 @@ class GenerationFuzzer:
         Simulated campaign clock (may be shared with the campaign).
     policy:
         Mutator strategy weights.
+    oracle:
+        Optional :class:`repro.channel.oracle.DifferentialOracle`; when
+        attached, every delivered frame is examined for parse-path
+        divergence and new findings are deduplicated into
+        ``self.divergences`` (the :class:`CrashDatabase` twin of
+        ``self.crashes``).
     """
 
     engine_name = "peach"
@@ -106,13 +122,16 @@ class GenerationFuzzer:
 
     def __init__(self, pit: Pit, target: Target, rng: random.Random,
                  clock: Optional[SimulatedClock] = None,
-                 policy: Optional[GenerationPolicy] = None):
+                 policy: Optional[GenerationPolicy] = None,
+                 oracle=None):
         self.pit = pit
         self.target = target
         self.rng = rng
         self.clock = clock if clock is not None else SimulatedClock()
         self.policy = policy
+        self.oracle = oracle
         self.crashes = CrashDatabase()
+        self.divergences = CrashDatabase()
         self.stats = EngineStats()
         self.seed_pool = SeedPool()  # used for *measurement* only
 
@@ -153,10 +172,36 @@ class GenerationFuzzer:
                 outcome.valuable = True
                 self.stats.valuable_seeds += 1
                 self._on_valuable_seed(seed)
+        if self.oracle is not None:
+            delivered = result.delivered \
+                if result.delivered is not None else [packet]
+            self._run_oracle(outcome, [(model.name, delivered)])
         return outcome
 
     def _on_valuable_seed(self, seed) -> None:
         """Hook for feedback-driven engines; baseline does nothing."""
+
+    def _run_oracle(self, outcome: IterationOutcome, frames_per_step) -> None:
+        """Examine delivered frames for divergence; dedup new findings.
+
+        *frames_per_step* is ``[(model_name, [frame, ...]), ...]`` — the
+        post-channel frames actually handed to the server, labelled with
+        the step's model so the strict/lenient differential knows which
+        grammar to consult.
+        """
+        channel = getattr(self.target, "channel", None)
+        if channel is not None:
+            self.stats.channel_faults = getattr(
+                channel, "faults_injected", 0)
+        new = []
+        for model_name, frames in frames_per_step:
+            for frame in frames:
+                for report in self.oracle.examine(
+                        frame, model_name, self.stats.executions):
+                    self.stats.divergences_total += 1
+                    if self.divergences.add(report, self.clock.hours):
+                        new.append(report)
+        outcome.new_divergences = tuple(new)
 
     # -- reporting -------------------------------------------------------------
 
@@ -190,8 +235,9 @@ class PeachStar(GenerationFuzzer):
                  crack_enabled: bool = True,
                  semantic_enabled: bool = True,
                  semantic_ratio: float = 0.5,
-                 pin_prob: float = 0.5):
-        super().__init__(pit, target, rng, clock, policy)
+                 pin_prob: float = 0.5,
+                 oracle=None):
+        super().__init__(pit, target, rng, clock, policy, oracle=oracle)
         self.corpus = PuzzleCorpus(rng=random.Random(rng.getrandbits(32)))
         self.cracker = FileCracker(pit, self.corpus)
         self.generator = SemanticGenerator(

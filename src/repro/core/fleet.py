@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.campaign import (
@@ -41,7 +41,7 @@ from repro.core.campaign import (
     validate_session_support,
 )
 from repro.core.seedpool import ValuableSeed
-from repro.core.stats import merge_crash_reports
+from repro.core.stats import merge_crash_reports, merge_divergence_reports
 from repro.runtime.coverage import GlobalCoverage
 from repro.sanitizer.report import CrashDatabase
 from repro.store.fleet import FleetWorkspace
@@ -64,6 +64,9 @@ class FleetResult:
     #: per-shard CrashDatabases folded through CrashDatabase.merge —
     #: earliest first-seen wins regardless of shard collection order
     merged_crashes: CrashDatabase
+    #: per-shard divergence findings, folded the same way (empty unless
+    #: the fleet ran with channel faults / differential oracles)
+    merged_divergences: CrashDatabase = field(default_factory=CrashDatabase)
 
     @property
     def merged_path_hashes(self) -> frozenset:
@@ -304,6 +307,7 @@ def _round_loop(fleet: FleetWorkspace, *,
         rounds=fleet.synced_rounds,
         shard_results=ordered,
         merged_crashes=merge_crash_reports(ordered),
+        merged_divergences=merge_divergence_reports(ordered),
     )
 
 

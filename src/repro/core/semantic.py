@@ -60,9 +60,14 @@ def _decode_donor(field: Field, donor: bytes):
         if isinstance(field, Str):
             return donor.decode("latin-1", errors="replace")
         if isinstance(field, Number):
+            # honor the field's signedness: 0xFF donated into a signed
+            # byte is -1, not 255 — an unsigned decode lands outside the
+            # value domain and breaks the CONSTRUCT step's re-encode
             if len(donor) >= field.width:
-                return int.from_bytes(donor[:field.width], field.endian)
-            return int.from_bytes(donor, field.endian)
+                return int.from_bytes(donor[:field.width], field.endian,
+                                      signed=field.signed)
+            return int.from_bytes(donor, field.endian,
+                                  signed=field.signed)
         return None
 
 

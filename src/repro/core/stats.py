@@ -117,6 +117,26 @@ def merge_crash_reports(results: Sequence[CampaignResult]
     return merged
 
 
+def merge_divergence_reports(results: Sequence[CampaignResult]
+                             ) -> CrashDatabase:
+    """Fold parallel results' divergence findings into one database.
+
+    Divergence reports carry no per-key first-seen table (they ride in
+    ``unique_divergences`` only), so the fold is a plain earliest-
+    execution-index merge with raw totals from the stats counter.
+    """
+    merged = CrashDatabase()
+    for result in results:
+        shard = CrashDatabase()
+        for report in result.unique_divergences:
+            shard.add(report, None)
+        raw_total = result.stats.get("divergences_total")
+        if raw_total is not None:
+            shard.total_crashes = raw_total
+        merged.merge(shard)
+    return merged
+
+
 def time_to_bugs(results: Sequence[CampaignResult]
                  ) -> Dict[Tuple[str, str], float]:
     """Earliest simulated hours each unique bug appeared across reps."""

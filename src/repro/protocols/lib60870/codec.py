@@ -121,3 +121,25 @@ def cp56time(milliseconds: int = 0, minute: int = 0, hour: int = 0,
         milliseconds & 0xFF, (milliseconds >> 8) & 0xFF,
         minute & 0x3F, hour & 0x1F, day & 0x1F, month & 0x0F, year & 0x7F,
     ))
+
+
+def frame_kind(frame: bytes) -> str:
+    """Classify an APCI frame as ``"I"``, ``"S"``, ``"U"`` or ``"invalid"``.
+
+    Unlike the IEC 104 project's classifier, lib60870 validates the APCI
+    length octet against the actual read: a frame whose announced length
+    disagrees with the bytes on the wire is not a frame at all.  The two
+    stacks therefore genuinely disagree on truncated or corrupted frames
+    — the asymmetry the cross-stack differential oracle observes.
+    """
+    if len(frame) < 6 or frame[0] != START_BYTE:
+        return "invalid"
+    length = frame[1]
+    if length < 4 or length + 2 != len(frame):
+        return "invalid"
+    ctrl1 = frame[2]
+    if ctrl1 & 0x01 == 0:
+        return "I"
+    if ctrl1 & 0x03 == 0x01:
+        return "S"
+    return "U"

@@ -31,6 +31,9 @@ class ExecResult:
     hang: bool
     response: Optional[bytes]
     blocks_executed: int = 0
+    #: frames actually handed to the server after the channel (None when
+    #: no channel is configured — the packet itself was delivered)
+    delivered: Optional[List[bytes]] = None
 
     @property
     def crashed(self) -> bool:
@@ -63,6 +66,9 @@ class TraceResult:
     responses: List[Optional[bytes]] = field(default_factory=list)
     #: per-step wire bytes as actually sent (post-binding)
     sent: List[bytes] = field(default_factory=list)
+    #: per-step frames delivered after the channel (populated only when
+    #: a channel is configured; ``sent`` keeps the pre-channel wire)
+    delivered: List[List[bytes]] = field(default_factory=list)
 
     @property
     def crashed(self) -> bool:
@@ -98,12 +104,20 @@ class Target:
         the paper adds the path-coverage *measurement* framework to both
         tools, which :class:`repro.core.campaign.Campaign` models
         separately).
+    channel:
+        Optional :class:`repro.channel.faults.Channel` sitting between
+        the harness and the server.  ``None`` keeps today's path (the
+        packet itself is the delivered frame, zero overhead); a channel
+        is reset at each run/trace boundary and consulted per step for
+        the frames to actually deliver.
     """
 
     def __init__(self, server_factory: Callable[[], ProtocolServer],
-                 collector: Optional[Collector] = None):
+                 collector: Optional[Collector] = None,
+                 channel=None):
         self.server = server_factory()
         self.collector = collector
+        self.channel = channel
         self.executions = 0
 
     def run(self, packet: bytes, model_name: Optional[str] = None) -> ExecResult:
@@ -111,21 +125,31 @@ class Target:
         self.executions += 1
         heap = SimHeap()
         self.server.reset()
+        if self.channel is None:
+            frames: Sequence[bytes] = (packet,)
+            delivered = None
+        else:
+            self.channel.reset()
+            frames = self.channel.transmit(0, packet)
+            frames.extend(self.channel.flush())
+            delivered = list(frames)
         crash = None
         hang = False
         response = None
         blocks = 0
         if self.collector is not None:
             with self.collector:
-                crash, hang, response = self._dispatch(
-                    heap, packet, model_name)
+                crash, hang, response = self._dispatch_frames(
+                    heap, frames, model_name)
             blocks = self.collector.blocks_executed
             coverage = self.collector.map
         else:
-            crash, hang, response = self._dispatch(heap, packet, model_name)
+            crash, hang, response = self._dispatch_frames(
+                heap, frames, model_name)
             coverage = None
         return ExecResult(coverage=coverage, crash=crash, hang=hang,
-                          response=response, blocks_executed=blocks)
+                          response=response, blocks_executed=blocks,
+                          delivered=delivered)
 
     def run_trace(self, steps: Sequence[Tuple[bytes, Optional[str]]],
                   binder=None) -> TraceResult:
@@ -148,6 +172,8 @@ class Target:
         the reply.
         """
         self.server.reset()
+        if self.channel is not None:
+            self.channel.reset()
         heap = SimHeap()
         accumulated = CoverageMap() if self.collector is not None else None
         result = TraceResult(coverage=accumulated, crash=None, hang=False,
@@ -156,14 +182,24 @@ class Target:
             self.executions += 1
             wire = packet if binder is None else binder.prepare(index, packet)
             result.sent.append(wire)
+            if self.channel is None:
+                frames: Sequence[bytes] = (wire,)
+            else:
+                frames = self.channel.transmit(index, wire)
+                if index == len(steps) - 1:
+                    # last step: a frame still held by a reorder fault
+                    # lands before the session closes
+                    frames.extend(self.channel.flush())
+                result.delivered.append(list(frames))
             if self.collector is not None:
                 with self.collector:
-                    crash, hang, response = self._dispatch(
-                        heap, wire, model_name)
+                    crash, hang, response = self._dispatch_frames(
+                        heap, frames, model_name)
                 result.blocks_executed += self.collector.blocks_executed
                 accumulated.absorb(self.collector.map)
             else:
-                crash, hang, response = self._dispatch(heap, wire, model_name)
+                crash, hang, response = self._dispatch_frames(
+                    heap, frames, model_name)
             result.steps_executed = index + 1
             result.responses.append(response)
             result.response = response
@@ -178,6 +214,22 @@ class Target:
             if binder is not None:
                 binder.observe(index, response)
         return result
+
+    def _dispatch_frames(self, heap: SimHeap, frames: Sequence[bytes],
+                         model_name: Optional[str]):
+        """Deliver each frame in order; a crash or hang stops delivery.
+
+        An empty *frames* (the channel dropped the packet) is a no-op
+        execution: no dispatch, no response.
+        """
+        crash = None
+        hang = False
+        response = None
+        for frame in frames:
+            crash, hang, response = self._dispatch(heap, frame, model_name)
+            if crash is not None or hang:
+                break
+        return crash, hang, response
 
     def _dispatch(self, heap: SimHeap, packet: bytes,
                   model_name: Optional[str]):

@@ -137,6 +137,14 @@ class SessionFuzzer(PeachStar):
                 outcome.valuable = True
                 self.stats.valuable_seeds += 1
                 self._crack_steps(steps)
+        if self.oracle is not None:
+            # post-channel frames when a channel ran, the sent wire
+            # otherwise; either way labelled with each step's model
+            per_step = result.delivered if result.delivered \
+                else [[wire] for wire in result.sent]
+            self._run_oracle(outcome, [
+                (steps[index].model_name, frames)
+                for index, frames in enumerate(per_step)])
         return outcome
 
     # -- cracking --------------------------------------------------------

@@ -7,6 +7,8 @@ Layout of a workspace directory::
       state.json      atomic checkpoint (RNG/clock/corpus/stats snapshot)
       corpus/         one <exec>.bin + <exec>.json per valuable seed
       crashes/        one <slug>.bin + <slug>.json per unique crash
+      divergences/    one <slug>.bin + <slug>.json per unique
+                      differential-oracle finding (faulted campaigns)
       coverage.jsonl  sparse coverage journal, one line per valuable seed
       series.jsonl    paths-over-time samples (the Fig. 4 series)
       result.json     final summary, written when the campaign completes
@@ -51,10 +53,25 @@ class WorkspaceError(RuntimeError):
 
 
 def _atomic_write(path: str, payload: str) -> None:
+    """Durably replace *path* with *payload*.
+
+    The rename alone is not enough: without flushing and fsyncing the
+    tmp file first, a power loss after ``os.replace`` can leave an empty
+    or torn file under the final name — the data may still be in page
+    cache when the rename hits the journal.  The directory fsync then
+    persists the rename itself.
+    """
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as handle:
         handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+    dir_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 def _rng_state_to_json(state) -> list:
@@ -164,8 +181,18 @@ def _pending_from_json(entries: list, pit) -> list:
 
 
 def _report_from_meta(meta: dict, packet: bytes) -> CrashReport:
-    """Rebuild a persisted crash report (session context included)."""
+    """Rebuild a persisted finding (crash or divergence, session
+    context included)."""
     trace = meta.get("trace")
+    oracle = meta.get("oracle")
+    if oracle is not None:
+        from repro.channel.oracle import DivergenceReport  # late: layering
+        return DivergenceReport(
+            kind=meta["kind"], site=meta["site"], detail=meta["detail"],
+            packet=packet, model_name=meta["model_name"],
+            execution_index=meta["execution_index"],
+            oracle=oracle,
+        )
     return CrashReport(
         kind=meta["kind"], site=meta["site"], detail=meta["detail"],
         packet=packet, model_name=meta["model_name"],
@@ -183,6 +210,7 @@ class CampaignWorkspace:
         self.root = os.path.abspath(root)
         self.corpus_dir = os.path.join(self.root, "corpus")
         self.crashes_dir = os.path.join(self.root, "crashes")
+        self.divergences_dir = os.path.join(self.root, "divergences")
         self.repro_dir = os.path.join(self.root, "repro")
         self.inbox_dir = os.path.join(self.root, "inbox")
         self._config_path = os.path.join(self.root, "config.json")
@@ -377,6 +405,36 @@ class CampaignWorkspace:
         _atomic_write(stem + ".json",
                       json.dumps(meta, indent=2, sort_keys=True) + "\n")
 
+    def record_divergence(self, report, hours: float) -> None:
+        """Persist one *new unique* differential-oracle finding.
+
+        Same .bin/.json pair as crashes, in ``divergences/`` — the
+        ``oracle`` meta key is what routes the report back to
+        :class:`~repro.channel.oracle.DivergenceReport` on load.
+        """
+        os.makedirs(self.divergences_dir, exist_ok=True)
+        name = fs_slug(f"{report.kind}_{report.site}")
+        stem = os.path.join(self.divergences_dir, name)
+        # one trace can surface several findings at the same execution
+        # index, so the index alone cannot reconstruct discovery order
+        # on restore; an explicit sequence number does
+        seq = sum(1 for entry in os.listdir(self.divergences_dir)
+                  if entry.endswith(".json"))
+        with open(stem + ".bin", "wb") as handle:
+            handle.write(report.packet)
+        meta = {
+            "kind": report.kind,
+            "site": report.site,
+            "detail": report.detail,
+            "model_name": report.model_name,
+            "execution_index": report.execution_index,
+            "seq": seq,
+            "hours": hours,
+            "oracle": report.oracle,
+        }
+        _atomic_write(stem + ".json",
+                      json.dumps(meta, indent=2, sort_keys=True) + "\n")
+
     # ------------------------------------------------------------------
     # checkpoints
     # ------------------------------------------------------------------
@@ -418,6 +476,14 @@ class CampaignWorkspace:
             # learned-state campaigns: the automaton is mutable engine
             # state (walks depend on it), so it checkpoints with the RNG
             state["learner"] = state_model.snapshot()
+        channel = getattr(engine.target, "channel", None)
+        if channel is not None:
+            # faulted campaigns: the channel RNG draws per frame, so its
+            # state must rewind with the engine RNG (stateless channels
+            # snapshot to None and are skipped)
+            snap = channel.snapshot()
+            if snap is not None:
+                state["channel"] = snap
         _atomic_write(self._state_path,
                       json.dumps(state, sort_keys=True) + "\n")
 
@@ -500,6 +566,25 @@ class CampaignWorkspace:
             crash_times[report.dedup_key] = meta["hours"]
         engine.crashes.total_crashes = state["stats"]["crashes_total"]
 
+        # -- divergence database ----------------------------------------------
+        for meta in self._load_divergence_entries(exec_limit, prune=True):
+            with open(meta["_bin"], "rb") as handle:
+                packet = handle.read()
+            engine.divergences.add(_report_from_meta(meta, packet),
+                                   meta["hours"])
+        engine.divergences.total_crashes = \
+            state["stats"].get("divergences_total", 0)
+
+        # -- channel RNG -------------------------------------------------------
+        if "channel" in state:
+            channel = getattr(engine.target, "channel", None)
+            if channel is None or not hasattr(channel, "restore"):
+                raise WorkspaceError(
+                    "workspace checkpoints a faulting channel but the "
+                    "rebuilt engine has none; workspace is corrupt or "
+                    "from an incompatible version")
+            channel.restore(state["channel"])
+
         # -- Peach*-only state -------------------------------------------------
         corpus = getattr(engine, "corpus", None)
         if corpus is not None and "puzzle_corpus" in state:
@@ -572,7 +657,10 @@ class CampaignWorkspace:
                         os.unlink(meta["_bin"])
                 continue
             entries.append(meta)
-        entries.sort(key=lambda meta: meta["execution_index"])
+        # "seq" (divergence entries) breaks intra-execution ties in
+        # discovery order; elsewhere it is absent and name order rules
+        entries.sort(key=lambda meta: (meta["execution_index"],
+                                       meta.get("seq", 0)))
         return entries
 
     def _load_corpus_entries(self, exec_limit: Optional[int] = None,
@@ -584,6 +672,10 @@ class CampaignWorkspace:
     def _load_crash_entries(self, exec_limit: Optional[int] = None,
                             prune: bool = False) -> List[dict]:
         return self._load_entries(self.crashes_dir, exec_limit, prune)
+
+    def _load_divergence_entries(self, exec_limit: Optional[int] = None,
+                                 prune: bool = False) -> List[dict]:
+        return self._load_entries(self.divergences_dir, exec_limit, prune)
 
     def _prune_jsonl(self, path: str, exec_limit: int,
                      sync_limit: Optional[int] = None) -> List[dict]:
@@ -622,6 +714,15 @@ class CampaignWorkspace:
         """All persisted unique crashes, in discovery order (for triage)."""
         reports = []
         for meta in self._load_crash_entries():
+            with open(meta["_bin"], "rb") as handle:
+                packet = handle.read()
+            reports.append(_report_from_meta(meta, packet))
+        return reports
+
+    def load_divergence_reports(self) -> List[CrashReport]:
+        """All persisted unique divergences, in discovery order."""
+        reports = []
+        for meta in self._load_divergence_entries():
             with open(meta["_bin"], "rb") as handle:
                 packet = handle.read()
             reports.append(_report_from_meta(meta, packet))

@@ -29,6 +29,11 @@ _KIND_SEVERITY = {
     "heap-buffer-overflow": "high",
     "SEGV": "medium",
     "MEMORY-FAULT": "low",
+    # differential-oracle findings: a strict/lenient disagreement is the
+    # raw material of request smuggling (medium); two stacks classifying
+    # the same frame differently is a robustness signal (low)
+    "parse-divergence": "medium",
+    "cross-stack-divergence": "low",
 }
 
 

@@ -108,6 +108,7 @@ class _CheckerPair:
         self._hang_budget = hang_budget
         self._crash: Optional[CrashChecker] = None
         self._trace = None
+        self._divergence = None
 
     def crash_checker(self) -> CrashChecker:
         if self._crash is None:
@@ -124,10 +125,26 @@ class _CheckerPair:
                                        backend=self._backend)
         return self._trace
 
+    def divergence_checker(self):
+        if self._divergence is None:
+            from repro.channel.oracle import DivergenceChecker
+            self._divergence = DivergenceChecker(self._spec)
+        return self._divergence
+
 
 def _minimize_one(spec, report: CrashReport, max_executions: int,
                   checkers: _CheckerPair) -> MinimizationResult:
-    """Minimize one crash, routing session crashes to the trace pass."""
+    """Minimize one finding, routing by its class.
+
+    Divergence reports (duck-typed by their ``oracle`` attribute)
+    re-evaluate through the differential oracle instead of the
+    sanitizer; session crashes go through the trace pass.
+    """
+    if getattr(report, "oracle", None) is not None:
+        from repro.channel.oracle import minimize_divergence
+        return minimize_divergence(spec, report,
+                                   max_executions=max_executions,
+                                   checker=checkers.divergence_checker())
     if report.is_session:
         from repro.state.triage import minimize_trace
         return minimize_trace(spec, report, max_executions=max_executions,

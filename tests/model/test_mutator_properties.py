@@ -21,7 +21,8 @@ import pytest
 
 from repro.core.campaign import default_campaign_policy
 from repro.core.fixup_engine import TreeEchoProvider
-from repro.model.fields import Repeat
+from repro.core.semantic import _decode_donor
+from repro.model.fields import Number, Repeat
 from repro.model.generation import generate_packet
 from repro.protocols import TARGET_NAMES, all_targets
 
@@ -73,6 +74,54 @@ def test_mutated_trees_keep_honest_integrity(target_name):
         for _ in range(ITERATIONS):
             tree, packet = generate_packet(model, rng, policy)
             assert_tree_integrity(model, tree, packet)
+
+
+def _number_domain(field):
+    bits = field.width * 8
+    if field.signed:
+        return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return 0, (1 << bits) - 1
+
+
+def test_signed_donor_decodes_into_the_signed_domain():
+    """The regression the semantic generator shipped with: 0xFF donated
+    into a signed byte is -1, not 255 — an unsigned decode lands outside
+    the value domain and corrupts the CONSTRUCT re-encode."""
+    signed = Number("temp", width=1, signed=True)
+    unsigned = Number("count", width=1)
+    # wrong-length donors force the fallback decode path
+    assert _decode_donor(signed, b"\xff\xff") == -1
+    assert _decode_donor(unsigned, b"\xff\xff") == 255
+    assert _decode_donor(signed, b"\x7f\x00") == 127
+    wide = Number("delta", width=2, signed=True, endian="little")
+    assert _decode_donor(wide, b"\xff") == -1
+
+
+@pytest.mark.parametrize("target_name", TARGET_NAMES)
+def test_donor_decode_stays_in_every_number_fields_domain(target_name):
+    """Donor splicing must yield values the leaf can re-encode: for
+    every Number field of every model, a donor of any length decodes
+    into the field's signed/unsigned domain and round-trips through
+    ``encode``/``decode`` bit-exactly."""
+    rng = random.Random(0xD0 + TARGET_NAMES.index(target_name))
+    for model in _PITS[target_name]:
+        tree = model.build_default()
+        for node in tree.root.iter_nodes():
+            field = node.field
+            if not isinstance(field, Number):
+                continue
+            sizes = {field.width, max(1, field.width - 1),
+                     field.width + 1, field.width + 3}
+            for size in sorted(sizes):
+                donor = bytes(rng.randrange(256) for _ in range(size))
+                value = _decode_donor(field, donor)
+                assert isinstance(value, int), \
+                    f"{model.name}.{field.name}: donor decoded to {value!r}"
+                low, high = _number_domain(field)
+                assert low <= value <= high, \
+                    f"{model.name}.{field.name}: {value} outside " \
+                    f"[{low}, {high}] for a {size}-byte donor"
+                assert field.decode(field.encode(value)) == value
 
 
 @pytest.mark.parametrize("target_name", TARGET_NAMES)

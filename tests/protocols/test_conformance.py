@@ -23,7 +23,10 @@ import random
 
 import pytest
 
-from repro.core import CampaignConfig, run_campaign
+from repro.channel import DirectChannel
+from repro.core import (
+    CampaignConfig, make_engine, resume_campaign, run_campaign,
+)
 from repro.core.fixup_engine import TreeEchoProvider
 from repro.protocols import TARGET_NAMES, all_targets, get_target
 from repro.runtime.target import Target
@@ -159,6 +162,55 @@ class TestTraceRoundTrip:
         pit = _PITS[target_name]
         for step, wire in zip(steps, result.sent):
             pit.model(step.model_name).parse(wire, strict=False)
+
+
+def _campaign_signature(result):
+    """Everything a campaign result observably is (workspace path aside)."""
+    return (result.series, result.final_paths, result.final_edges,
+            result.executions,
+            sorted(report.dedup_key for report in result.unique_crashes),
+            sorted(report.dedup_key for report in result.unique_divergences),
+            result.crash_times, result.stats, result.path_hashes)
+
+
+@pytest.mark.parametrize("target_name", TARGET_NAMES)
+def test_direct_channel_campaign_is_bit_identical(target_name):
+    """The channel seam itself must not perturb anything: a campaign
+    through the pinned DirectChannel passthrough is bit-identical to a
+    channel-less one, on every stack."""
+    spec = get_target(target_name)
+    config = CampaignConfig(budget_hours=24.0, max_executions=120,
+                            record_every=20)
+    plain = run_campaign("peach-star", spec, seed=42, config=config)
+    engine = make_engine("peach-star", spec, 42, config)
+    engine.target.channel = DirectChannel()
+    piped = run_campaign("peach-star", spec, seed=42, config=config,
+                         engine=engine)
+    assert _campaign_signature(piped) == _campaign_signature(plain)
+
+
+@pytest.mark.parametrize("target_name", TARGET_NAMES)
+def test_faulted_campaign_kill_resume_is_bit_identical(target_name,
+                                                       tmp_path):
+    """The fault RNG checkpoints with the workspace: a seeded faulting
+    campaign killed mid-run and resumed finishes bit-identical to one
+    that was never killed — divergence findings included."""
+    spec = get_target(target_name)
+
+    def config(workspace):
+        return CampaignConfig(budget_hours=24.0, max_executions=120,
+                              record_every=20, checkpoint_every=40,
+                              channel_faults=0.2, workspace=workspace)
+
+    full = run_campaign("peach-star", spec, seed=42,
+                        config=config(str(tmp_path / "full")))
+    assert full.stats["channel_faults"] > 0
+    killed_dir = str(tmp_path / "killed")
+    assert run_campaign("peach-star", spec, seed=42,
+                        config=config(killed_dir),
+                        stop_after_executions=73) is None
+    resumed = resume_campaign(killed_dir)
+    assert _campaign_signature(resumed) == _campaign_signature(full)
 
 
 @pytest.mark.parametrize("target_name", TARGET_NAMES)

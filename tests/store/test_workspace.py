@@ -151,3 +151,60 @@ class TestKillAndResumeDeterminism:
         assert resume_campaign(ws_dir, stop_after_executions=260) is None
         resumed = resume_campaign(ws_dir)
         assert _signature(resumed) == _signature(full)
+
+
+class TestAtomicWriteDurability:
+    """The fsync contract of _atomic_write (crash-durability bugfix)."""
+
+    def test_crash_before_replace_preserves_old_contents(
+            self, tmp_path, monkeypatch):
+        """Fault injection: die between the tmp write and os.replace.
+
+        The file under the final name must still hold its previous
+        contents — the half-written update only ever exists under the
+        .tmp name.
+        """
+        import repro.store.workspace as ws_mod
+
+        path = str(tmp_path / "state.json")
+        ws_mod._atomic_write(path, "old\n")
+
+        def crash_replace(src, dst):
+            raise RuntimeError("simulated crash before rename")
+
+        monkeypatch.setattr(ws_mod.os, "replace", crash_replace)
+        with pytest.raises(RuntimeError):
+            ws_mod._atomic_write(path, "new\n")
+        monkeypatch.undo()
+        with open(path) as handle:
+            assert handle.read() == "old\n"
+        # the interrupted attempt left only the tmp file; retrying
+        # clobbers it and completes normally
+        assert os.path.exists(path + ".tmp")
+        ws_mod._atomic_write(path, "new\n")
+        with open(path) as handle:
+            assert handle.read() == "new\n"
+
+    def test_fsync_file_then_replace_then_fsync_dir(
+            self, tmp_path, monkeypatch):
+        """The durability ordering: flush+fsync the tmp file BEFORE the
+        rename, fsync the directory after — otherwise a power loss can
+        leave an empty file despite the atomic replace."""
+        import repro.store.workspace as ws_mod
+
+        events = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+
+        def spy_fsync(fd):
+            events.append("fsync")
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("replace")
+            real_replace(src, dst)
+
+        monkeypatch.setattr(ws_mod.os, "fsync", spy_fsync)
+        monkeypatch.setattr(ws_mod.os, "replace", spy_replace)
+        ws_mod._atomic_write(str(tmp_path / "state.json"), "payload\n")
+        assert events == ["fsync", "replace", "fsync"]
