@@ -7,7 +7,8 @@
 #   make bench       — the evaluation benchmarks only (regenerates
 #                      BENCH_*.json)
 #   make test-matrix — the cross-protocol conformance matrix plus the
-#                      channel-fault/differential-oracle suite
+#                      channel-fault/differential-oracle and
+#                      live-network (socket/serve) suites
 #   make fleet-demo  — a small synced 4-shard fleet in /tmp, rendered
 #                      with the per-shard/merged summary table
 #   make sessions-demo — the stateful session-fuzzing walkthrough
@@ -33,7 +34,7 @@ bench:
 
 test-matrix:
 	$(PY) -m pytest tests/protocols/test_conformance.py tests/channel \
-		$(PYTEST_ARGS)
+		tests/net $(PYTEST_ARGS)
 
 fleet-demo:
 	rm -rf $(FLEET_DEMO_DIR)

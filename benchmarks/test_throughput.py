@@ -57,6 +57,13 @@ FLEET_SYNC_EVERY = 400
 #: the 25% throughput tolerance does, scaled for the ratio's higher
 #: machine-to-machine variance.
 FLEET_RATIO_FLOOR = 0.35
+#: floor gate on socket_vs_inprocess.execs_per_sec_ratio: driving the
+#: headline campaign through the loopback socket harness (peachstar
+#: envelope framing, one event-loop turn per frame) may not drag
+#: throughput below this fraction of the in-process rate.  The
+#: committed artifact records ~0.5; the floor leaves the same headroom
+#: the fleet gate does for machine-to-machine scheduler variance.
+SOCKET_RATIO_FLOOR = 0.2
 
 _CACHE = {}
 
@@ -171,6 +178,45 @@ def _fleet_vs_serial() -> dict:
         "serial_paths_per_sec": round(serial_rate, 2),
         "paths_per_sec_ratio": round(fleet_rate / max(serial_rate, 1e-9),
                                      2),
+    }
+
+
+def _socket_vs_inprocess() -> dict:
+    """Execs per wall-clock second: loopback socket vs in-process.
+
+    The same seeded headline campaign runs twice — once against the
+    plain in-process ``Target``, once against a ``SocketTarget``
+    loopback harness (real TCP, shared collector) — so the entry prices
+    the transport alone.  The two runs are signature-identical by the
+    parity pin in ``tests/net``; ``paths_identical`` re-checks the
+    corpus-level half of that claim here.
+    """
+    from repro.net import NetConfig
+
+    spec = get_target(HEADLINE_TARGET)
+    config = bench_config()
+    start = time.perf_counter()
+    in_process = run_campaign("peach-star", spec, seed=HEADLINE_SEED,
+                              config=config)
+    inprocess_secs = time.perf_counter() - start
+    start = time.perf_counter()
+    over_socket = run_campaign("peach-star", spec, seed=HEADLINE_SEED,
+                               config=replace(config, net=NetConfig()))
+    socket_secs = time.perf_counter() - start
+    inprocess_rate = in_process.executions / max(inprocess_secs, 1e-9)
+    socket_rate = over_socket.executions / max(socket_secs, 1e-9)
+    return {
+        "target": HEADLINE_TARGET,
+        "engine": "peach-star",
+        "executions": in_process.executions,
+        "paths_identical": (
+            over_socket.path_hashes == in_process.path_hashes),
+        "inprocess_execs_per_sec": round(inprocess_rate, 1),
+        "socket_execs_per_sec": round(socket_rate, 1),
+        "inprocess_wall_seconds": round(inprocess_secs, 3),
+        "socket_wall_seconds": round(socket_secs, 3),
+        "execs_per_sec_ratio": round(
+            socket_rate / max(inprocess_rate, 1e-9), 2),
     }
 
 
@@ -379,6 +425,7 @@ def _throughput():
             "speedup": round(sparse_rate / max(dense_rate, 1e-9), 2),
         },
         "fleet_vs_serial": _fleet_vs_serial(),
+        "socket_vs_inprocess": _socket_vs_inprocess(),
         "sessions_vs_single_packet": _sessions_vs_single_packet(),
         "learned_vs_scripted": _learned_vs_scripted(),
         "trajectory": _trim_trajectory(prior + [current_entry]),
@@ -418,6 +465,12 @@ def test_throughput_artifact(benchmark):
                 f"({fleet['fleet_merged_paths']} vs "
                 f"{fleet['serial_union_paths']} merged paths, "
                 f"{sum(fleet['imported_seeds'])} seeds exchanged)")
+    socket = payload["socket_vs_inprocess"]
+    rows.append(f"socket vs in-process (on {socket['target']}): "
+                f"{socket['socket_execs_per_sec']:.1f} vs "
+                f"{socket['inprocess_execs_per_sec']:.1f} execs/sec "
+                f"= {socket['execs_per_sec_ratio']:.2f}x "
+                f"(paths identical: {socket['paths_identical']})")
     sessions = payload["sessions_vs_single_packet"]
     rows.append(f"sessions vs single-packet (on {sessions['target']}): "
                 f"{sessions['session_paths']} vs "
@@ -467,6 +520,32 @@ def test_fleet_ratio_floor(benchmark):
     assert ratio >= FLEET_RATIO_FLOOR, (
         f"fleet paths/sec is only {ratio:.2f}x the serial rate; the "
         f"fleet-overhead gate requires >= {FLEET_RATIO_FLOOR}")
+
+
+def test_socket_vs_inprocess_entry(benchmark):
+    """The socket comparison is recorded and structurally sane: both
+    transports execute the full budget and the loopback run discovers
+    the exact same corpus (the parity claim's path-level half)."""
+    payload = benchmark.pedantic(_throughput, rounds=1, iterations=1)
+    socket = payload["socket_vs_inprocess"]
+    assert socket["executions"] > 0
+    assert socket["socket_execs_per_sec"] > 0
+    assert socket["inprocess_execs_per_sec"] > 0
+    assert socket["paths_identical"]
+
+
+def test_socket_ratio_floor(benchmark):
+    """Transport-overhead regression gate: the loopback socket harness
+    may not fall below ``SOCKET_RATIO_FLOOR`` of the in-process rate.
+    Smoke runs skip it — compressed budgets inflate the fixed
+    serve/connect costs the same way they inflate fleet spin-up."""
+    if not CLAIMS_ENABLED:
+        pytest.skip("socket ratio gate needs the near-full benchmark budget")
+    payload = benchmark.pedantic(_throughput, rounds=1, iterations=1)
+    ratio = payload["socket_vs_inprocess"]["execs_per_sec_ratio"]
+    assert ratio >= SOCKET_RATIO_FLOOR, (
+        f"socket throughput is only {ratio:.2f}x the in-process rate; "
+        f"the transport-overhead gate requires >= {SOCKET_RATIO_FLOOR}")
 
 
 def test_sessions_vs_single_packet_entry(benchmark):

@@ -24,7 +24,14 @@ The fault menu mirrors what a fuzzing proxy can do in flight:
   by :meth:`Channel.flush`);
 * **fragment** — the frame arrives as two reads split at a random cut
   (stream framing without message boundaries);
-* **corrupt** — one random bit flips in flight (serial-line noise).
+* **corrupt** — one random bit flips in flight (serial-line noise);
+* **burst** (opt-in, ``--channel-faults-burst N``) — a run of 2..N
+  consecutive frames vanishes outright (link outage / middlebox reset).
+  The run length is drawn once at burst start and the continuation
+  frames spend no RNG draws, so the draw sequence stays a pure function
+  of the checkpointed RNG state.  With ``burst == 0`` the selection
+  roll space is unchanged, keeping pre-burst seeded campaigns
+  bit-identical.
 
 Corrupt and fragment are the levers generation-based fuzzing cannot
 reach by construction: token fields (start bytes) are never mutated and
@@ -90,24 +97,48 @@ class FaultingChannel(Channel):
     is all kill/resume needs.
     """
 
-    def __init__(self, rate: float, rng: random.Random):
+    def __init__(self, rate: float, rng: random.Random, burst: int = 0):
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"fault rate {rate!r} not in [0, 1]")
+        if burst < 0:
+            raise ValueError(f"burst length {burst!r} < 0")
         self.rate = rate
         self.rng = rng
+        #: maximum burst-loss run length; 0 disables the burst fault and
+        #: keeps the selection-roll space identical to pre-burst builds,
+        #: so existing seeded campaigns stay bit-identical
+        self.burst = burst
+        #: frames still to drop in the current burst run (no RNG draws
+        #: are spent on them — the run length was drawn at burst start)
+        self._burst_remaining = 0
         #: frame held back by a pending reorder (delivered after the
         #: next frame, or by flush() at the trace boundary)
         self._held: Optional[bytes] = None
         self.faults_injected = 0
         self.fault_counts: Dict[str, int] = {kind: 0
                                              for kind in FAULT_KINDS}
+        self.fault_counts["burst"] = 0
 
     # -- fault application ------------------------------------------------
 
+    def _menu(self) -> tuple:
+        return FAULT_KINDS + ("burst",) if self.burst > 0 else FAULT_KINDS
+
     def transmit(self, index: int, wire: bytes) -> List[bytes]:
+        if self._burst_remaining > 0:
+            # mid-burst: this frame is lost outright, no rolls spent
+            self._burst_remaining -= 1
+            self.faults_injected += 1
+            self.fault_counts["burst"] += 1
+            frames: List[bytes] = []
+            if self._held is not None:
+                frames.append(self._held)
+                self._held = None
+            return frames
         fault = None
         if self.rng.random() < self.rate:
-            fault = FAULT_KINDS[self.rng.randrange(len(FAULT_KINDS))]
+            menu = self._menu()
+            fault = menu[self.rng.randrange(len(menu))]
         frames = self._apply(fault, wire)
         # a previously held frame lands right after this step's frames:
         # the adjacent swap that makes "reorder" mean what it says
@@ -139,6 +170,13 @@ class FaultingChannel(Channel):
         if fault == "fragment":
             cut = self.rng.randint(1, len(wire) - 1)
             return [wire[:cut], wire[cut:]]
+        if fault == "burst":
+            # a loss burst: this frame and the next (length - 1) frames
+            # all vanish (link outage / middlebox reset).  The run
+            # length is drawn now; continuation drops spend no rolls.
+            length = self.rng.randint(2, max(2, self.burst))
+            self._burst_remaining = length - 1
+            return []
         # corrupt: flip one random bit in flight
         position = self.rng.randrange(len(wire))
         bit = 1 << self.rng.randrange(8)
@@ -154,6 +192,7 @@ class FaultingChannel(Channel):
 
     def reset(self) -> None:
         self._held = None
+        self._burst_remaining = 0
 
     # -- checkpointing ----------------------------------------------------
 
@@ -172,6 +211,8 @@ class FaultingChannel(Channel):
             "held": self._held.hex() if self._held is not None else None,
             "faults_injected": self.faults_injected,
             "fault_counts": dict(self.fault_counts),
+            "burst": self.burst,
+            "burst_remaining": self._burst_remaining,
         }
 
     def restore(self, blob: dict) -> None:
@@ -182,5 +223,7 @@ class FaultingChannel(Channel):
         self._held = bytes.fromhex(held) if held is not None else None
         self.faults_injected = blob.get("faults_injected", 0)
         counts = blob.get("fault_counts", {})
-        for kind in FAULT_KINDS:
+        for kind in (*FAULT_KINDS, "burst"):
             self.fault_counts[kind] = counts.get(kind, 0)
+        self.burst = blob.get("burst", 0)
+        self._burst_remaining = blob.get("burst_remaining", 0)

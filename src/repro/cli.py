@@ -3,8 +3,11 @@
 Sub-commands:
 
 * ``targets`` — list the six protocol targets and their seeded bugs
+* ``serve``   — expose a simulated protocol server on a TCP port
+  (``--port``, ``--shared-state``, ``--framing peachstar|raw``)
 * ``fuzz``    — run one campaign (``--engine peach|peach-star``);
-  ``--workspace DIR`` persists it so it can be resumed
+  ``--workspace DIR`` persists it so it can be resumed; ``--target-url
+  loopback|tcp://host:port`` fuzzes over a real socket
 * ``fleet``   — run N synced shards of one campaign with periodic
   cross-shard corpus exchange (``--shards``, ``--sync-every``)
 * ``resume``  — continue a killed (or finished) persisted campaign or
@@ -77,11 +80,63 @@ def _add_channel_args(parser: argparse.ArgumentParser) -> None:
                              "(drop/duplicate/reorder/fragment/corrupt "
                              "in flight; 0 = perfect channel). Also "
                              "enables the differential parse oracles")
+    parser.add_argument("--channel-faults-burst", type=int, default=0,
+                        metavar="N", dest="channel_burst",
+                        help="add a burst-loss fault kind to the menu: a "
+                             "run of 2..N consecutive frames vanishes "
+                             "(needs --channel-faults > 0; 0 = off)")
     parser.add_argument("--differential", action="store_true",
                         default=None,
                         help="force the differential parse oracles on, "
                              "even without channel faults (default: "
                              "enabled exactly when --channel-faults > 0)")
+    parser.add_argument("--steer-divergence", action="store_true",
+                        dest="steer_divergence",
+                        help="divergence-aware seed scoring: a coverage-"
+                             "stale input hitting a first-seen parse-"
+                             "divergence site still enters the corpus "
+                             "(implies the differential oracles)")
+
+
+def _add_net_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--target-url", default=None, metavar="URL",
+                        dest="target_url",
+                        help="fuzz over a real TCP socket: 'loopback' "
+                             "serves the target in-process on an "
+                             "ephemeral port (full coverage feedback), "
+                             "'tcp://host:port' drives a live endpoint "
+                             "black-box")
+    parser.add_argument("--net-framing", default="peachstar",
+                        choices=("peachstar", "raw"), dest="net_framing",
+                        help="wire dialect for --target-url: the "
+                             "harness envelope (exact in-process parity) "
+                             "or the protocol's own raw stream framing")
+    parser.add_argument("--timeout-ms", type=float, default=1000.0,
+                        dest="timeout_ms",
+                        help="wall-clock wait for one response over a "
+                             "socket before treating it as silence")
+    parser.add_argument("--reconnect", type=int, default=1,
+                        help="reconnect attempts when a socket endpoint "
+                             "drops the connection mid-session")
+    parser.add_argument("--concurrency", type=int, default=1, metavar="N",
+                        help="interleave N sessions round-robin over one "
+                             "event loop against a shared-state server "
+                             "(session mode only; implies --target-url "
+                             "loopback when none is given)")
+
+
+def _net_config(args):
+    """The NetConfig implied by the net args, or None (in-process path)."""
+    url = getattr(args, "target_url", None)
+    concurrency = getattr(args, "concurrency", 1)
+    if url is None and concurrency <= 1:
+        return None
+    from repro.net.config import NetConfig
+    return NetConfig(url=url if url is not None else "loopback",
+                     framing=getattr(args, "net_framing", "peachstar"),
+                     timeout_ms=getattr(args, "timeout_ms", 1000.0),
+                     reconnect=getattr(args, "reconnect", 1),
+                     concurrency=concurrency)
 
 
 def _config(args) -> CampaignConfig:
@@ -91,7 +146,11 @@ def _config(args) -> CampaignConfig:
                           sessions=getattr(args, "sessions", False),
                           learn_states=getattr(args, "learn_states", False),
                           channel_faults=getattr(args, "channel_faults", 0.0),
+                          channel_burst=getattr(args, "channel_burst", 0),
                           differential=getattr(args, "differential", None),
+                          steer_divergence=getattr(args, "steer_divergence",
+                                                   False),
+                          net=_net_config(args),
                           workspace=getattr(args, "workspace", None))
 
 
@@ -134,6 +193,19 @@ def cmd_targets(_args) -> int:
         print(f"{spec.name:<13} {spec.paper_project:<16} "
               f"{spec.seeded_bug_count:>4} {sessions:>8}  "
               f"{spec.description}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    spec = get_target(args.target)
+    from repro.net.serve import serve_forever
+    try:
+        serve_forever(spec, args.host, args.port,
+                      shared_state=args.shared_state, framing=args.framing)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port} ({exc})",
+              file=sys.stderr)
+        return 2
     return 0
 
 
@@ -228,7 +300,8 @@ def cmd_triage(args) -> int:
     report = triage_reports(
         spec, crashes, minimize=not args.no_minimize,
         max_executions_per_crash=args.max_triage_execs, out_dir=out_dir,
-        coverage_backend=backend, jobs=args.jobs)
+        coverage_backend=backend, jobs=args.jobs,
+        net_url=getattr(args, "net_url", None))
     print(render_triage_table(report))
     if args.verbose:
         for crash in report.crashes:
@@ -293,6 +366,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("targets", help="list protocol targets")
 
+    serve = sub.add_parser(
+        "serve", help="expose a simulated protocol server on a TCP port")
+    serve.add_argument("target", help="target name (see `targets`)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=2404,
+                       help="bind port (0 = ephemeral; default 2404)")
+    serve.add_argument("--shared-state", action="store_true",
+                       dest="shared_state",
+                       help="all connections race one server instance "
+                            "and one heap instead of getting a private "
+                            "session each")
+    serve.add_argument("--framing", default="peachstar",
+                       choices=("peachstar", "raw"),
+                       help="wire dialect: the harness envelope (what a "
+                            "SocketTarget speaks) or the protocol's own "
+                            "raw stream framing")
+
     fuzz = sub.add_parser("fuzz", help="run one fuzzing campaign")
     fuzz.add_argument("target", help="target name (see `targets`)")
     fuzz.add_argument("--engine", default="peach-star",
@@ -303,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="persist the campaign to DIR (resumable)")
     _add_sessions_arg(fuzz)
     _add_channel_args(fuzz)
+    _add_net_args(fuzz)
     _add_budget_args(fuzz)
 
     fleet = sub.add_parser(
@@ -320,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print full crash reports")
     _add_sessions_arg(fleet)
     _add_channel_args(fleet)
+    _add_net_args(fleet)
     _add_budget_args(fleet)
     _add_jobs_arg(fleet)
 
@@ -350,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sanitizer-execution budget per crash")
     triage.add_argument("--verbose", action="store_true",
                         help="print the (minimized) crash reports")
+    triage.add_argument("--net-url", default=None, metavar="URL",
+                        dest="net_url",
+                        help="emit reproducer scripts that replay over a "
+                             "socket against URL (tcp://host:port; the "
+                             "script's argv can override the endpoint)")
     _add_sessions_arg(triage)
     _add_channel_args(triage)
     _add_budget_args(triage)
@@ -377,6 +475,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "targets": cmd_targets,
+        "serve": cmd_serve,
         "fuzz": cmd_fuzz,
         "fleet": cmd_fleet,
         "resume": cmd_resume,

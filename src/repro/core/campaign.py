@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.engine import GenerationFuzzer, PeachStar
 from repro.model.mutators import GenerationPolicy
+from repro.net.config import NetConfig
 from repro.runtime.clock import SimulatedClock
 from repro.runtime.instrument import make_line_collector
 from repro.runtime.target import Target
@@ -107,10 +108,26 @@ class CampaignConfig:
     #: campaign seed and checkpointed, so faulted campaigns keep
     #: kill-and-resume bit-identity.
     channel_faults: float = 0.0
+    #: burst-loss fault mode (``--channel-faults-burst N``): the fault
+    #: menu gains a "burst" entry that drops a run of 2..N consecutive
+    #: frames.  0 disables it and keeps the selection-roll space (and
+    #: therefore existing seeded campaigns) bit-identical.  Needs
+    #: channel_faults > 0 — the burst is one of the channel's faults.
+    channel_burst: int = 0
     #: differential parse oracles (strict-vs-lenient + cross-stack):
-    #: None = auto, enabled exactly when channel_faults > 0; True/False
-    #: force it on clean or faulted campaigns respectively
+    #: None = auto, enabled exactly when channel_faults > 0 or
+    #: steer_divergence is set; True/False force it on clean or faulted
+    #: campaigns respectively
     differential: Optional[bool] = None
+    #: divergence-aware seed scoring (``--steer-divergence``): a
+    #: coverage-stale execution that hits a first-seen parse-divergence
+    #: site still enters the seed corpus (implies the oracle)
+    steer_divergence: bool = False
+    #: live-network transport (``--target tcp://host:port`` /
+    #: ``--concurrency``): None keeps the in-process path bit-identical;
+    #: a NetConfig rides into the workspace manifest so a killed socket
+    #: campaign resumes with the transport it started with
+    net: Optional[NetConfig] = None
     #: line-coverage backend: "auto" | "monitoring" | "settrace"
     coverage_backend: str = "auto"
     #: directory to persist the campaign into (None = in-memory only).
@@ -134,6 +151,8 @@ def config_from_dict(blob: dict) -> CampaignConfig:
     kwargs = {key: value for key, value in blob.items() if key in known}
     if kwargs.get("policy") is not None:
         kwargs["policy"] = GenerationPolicy(**kwargs["policy"])
+    if kwargs.get("net") is not None:
+        kwargs["net"] = NetConfig(**kwargs["net"])
     return CampaignConfig(**kwargs)
 
 
@@ -164,6 +183,30 @@ def validate_session_support(engine_name: str, target_spec,
             "--learn-states works on every target)")
 
 
+def validate_campaign_config(engine_name: str, target_spec,
+                             config: CampaignConfig) -> None:
+    """Every cross-knob rejection, raised before any state is created.
+
+    Wraps :func:`validate_session_support` and adds the channel/net
+    checks; called by :func:`make_engine` and by the fleet before it
+    initializes shard workspaces.
+    """
+    validate_session_support(engine_name, target_spec, config)
+    if config.channel_burst < 0:
+        raise ValueError(f"channel burst {config.channel_burst} < 0")
+    if config.channel_burst > 0 and config.channel_faults <= 0.0:
+        raise ValueError(
+            "--channel-faults-burst needs --channel-faults > 0 "
+            "(the burst is one of the faulting channel's fault kinds)")
+    if config.net is not None:
+        config.net.validate()
+        if config.net.concurrency > 1 and not (config.sessions or
+                                               config.learn_states):
+            raise ValueError(
+                "--concurrency interleaves sessions, so it needs session "
+                "mode (--sessions or --learn-states)")
+
+
 def make_engine(engine_name: str, target_spec, seed: int,
                 config: Optional[CampaignConfig] = None) -> GenerationFuzzer:
     """Build a ready-to-run engine ("peach" or "peach-star") for a target.
@@ -173,6 +216,7 @@ def make_engine(engine_name: str, target_spec, seed: int,
     simulated clock and actually uses the feedback.
     """
     config = config if config is not None else CampaignConfig()
+    validate_campaign_config(engine_name, target_spec, config)
     rng = random.Random(seed)
     collector = make_line_collector(
         ("repro/protocols",),
@@ -184,19 +228,30 @@ def make_engine(engine_name: str, target_spec, seed: int,
         # zero-fault runs stay bit-identical to the channel-less past
         from repro.channel.faults import FaultingChannel
         channel = FaultingChannel(config.channel_faults,
-                                  random.Random(rng.getrandbits(32)))
-    target = Target(target_spec.make_server, collector, channel=channel)
+                                  random.Random(rng.getrandbits(32)),
+                                  burst=config.channel_burst)
+    if config.net is not None:
+        # the live-network transport: a served loopback (full coverage
+        # feedback, pinned parity with the in-process path) or an
+        # external tcp:// endpoint (black-box — no collector can see
+        # across a process boundary)
+        from repro.net.target import make_net_target
+        target = make_net_target(target_spec, collector, channel,
+                                 config.net)
+    else:
+        target = Target(target_spec.make_server, collector,
+                        channel=channel)
     clock = SimulatedClock(target_spec.cost_model)
     pit = target_spec.make_pit()
     differential = config.differential
     if differential is None:
-        differential = config.channel_faults > 0.0
+        differential = config.channel_faults > 0.0 or \
+            config.steer_divergence
     oracle = None
     if differential:
         from repro.channel.oracle import make_oracle
         oracle = make_oracle(target_spec, pit)
     if config.sessions or config.learn_states:
-        validate_session_support(engine_name, target_spec, config)
         from repro.state.engine import SessionFuzzer  # late: layering
         if config.learn_states:
             from repro.state.learner import (
@@ -208,18 +263,23 @@ def make_engine(engine_name: str, target_spec, seed: int,
                 pit, hints=binding_hints(hand_model))
         else:
             state_model = target_spec.make_state_model()
+        concurrency = config.net.concurrency \
+            if config.net is not None else 1
         return SessionFuzzer(pit, target, rng, clock, policy=config.policy,
                              state_model=state_model,
                              max_trace_steps=config.max_trace_steps,
+                             concurrency=concurrency,
                              semantic_batch=config.semantic_batch,
                              semantic_ratio=config.semantic_ratio,
                              pin_prob=config.pin_prob,
                              crack_enabled=config.crack_enabled,
                              semantic_enabled=config.semantic_enabled,
-                             oracle=oracle)
+                             oracle=oracle,
+                             steer_divergence=config.steer_divergence)
     if engine_name == "peach":
         return GenerationFuzzer(pit, target, rng, clock,
-                                policy=config.policy, oracle=oracle)
+                                policy=config.policy, oracle=oracle,
+                                steer_divergence=config.steer_divergence)
     if engine_name == "peach-star":
         return PeachStar(pit, target, rng, clock, policy=config.policy,
                          semantic_batch=config.semantic_batch,
@@ -227,7 +287,8 @@ def make_engine(engine_name: str, target_spec, seed: int,
                          pin_prob=config.pin_prob,
                          crack_enabled=config.crack_enabled,
                          semantic_enabled=config.semantic_enabled,
-                         oracle=oracle)
+                         oracle=oracle,
+                         steer_divergence=config.steer_divergence)
     raise ValueError(f"unknown engine {engine_name!r}; "
                      "choices: peach, peach-star")
 
@@ -253,6 +314,29 @@ def _drive_campaign(engine_name: str, target_spec, seed: int,
     path the check runs *before* each iteration, so re-driving a shard
     already parked at the boundary is a no-op.
     """
+    try:
+        return _drive_campaign_loop(
+            engine_name, target_spec, seed, engine, config, workspace,
+            series, crash_times, stop_after_executions,
+            pause_after_executions)
+    finally:
+        # uniform teardown across target kinds: a SocketTarget closes
+        # its connections/served loopback/event loop, the in-process
+        # Target no-ops.  Runs on completion, kill and pause alike —
+        # every re-entry path rebuilds the engine from the workspace.
+        close = getattr(engine.target, "close", None)
+        if close is not None:
+            close()
+
+
+def _drive_campaign_loop(engine_name: str, target_spec, seed: int,
+                         engine: GenerationFuzzer, config: CampaignConfig,
+                         workspace: Optional[CampaignWorkspace],
+                         series: List[Tuple[float, int]],
+                         crash_times: Dict[Tuple[str, str], float],
+                         stop_after_executions: Optional[int],
+                         pause_after_executions: Optional[int] = None,
+                         ) -> Optional[CampaignResult]:
     budget_ms = config.budget_hours * 3_600_000.0
     # Cadences are tracked as crossed buckets, not `exec % N == 0`: a
     # session iteration advances the step counter by a whole trace, so

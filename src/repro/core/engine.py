@@ -74,6 +74,12 @@ class EngineStats:
     divergences_total: int = 0
     #: transport faults actually injected by a faulting channel
     channel_faults: int = 0
+    #: seeds retained by divergence steering (``--steer-divergence``):
+    #: coverage-stale but first at a new parse-divergence site
+    steered_seeds: int = 0
+    #: live-network scenario events (0 on the deterministic loopback path)
+    net_timeouts: int = 0
+    net_reconnects: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -88,6 +94,9 @@ class EngineStats:
             "learned_states": self.learned_states,
             "divergences_total": self.divergences_total,
             "channel_faults": self.channel_faults,
+            "steered_seeds": self.steered_seeds,
+            "net_timeouts": self.net_timeouts,
+            "net_reconnects": self.net_reconnects,
         }
 
 
@@ -115,6 +124,10 @@ class GenerationFuzzer:
         divergence and new findings are deduplicated into
         ``self.divergences`` (the :class:`CrashDatabase` twin of
         ``self.crashes``).
+    steer_divergence:
+        ``--steer-divergence``: an execution whose coverage is stale but
+        whose frames hit a first-seen divergence site still enters the
+        seed pool (behavioral novelty as a feedback signal).
     """
 
     engine_name = "peach"
@@ -123,13 +136,14 @@ class GenerationFuzzer:
     def __init__(self, pit: Pit, target: Target, rng: random.Random,
                  clock: Optional[SimulatedClock] = None,
                  policy: Optional[GenerationPolicy] = None,
-                 oracle=None):
+                 oracle=None, steer_divergence: bool = False):
         self.pit = pit
         self.target = target
         self.rng = rng
         self.clock = clock if clock is not None else SimulatedClock()
         self.policy = policy
         self.oracle = oracle
+        self.steer_divergence = steer_divergence
         self.crashes = CrashDatabase()
         self.divergences = CrashDatabase()
         self.stats = EngineStats()
@@ -176,10 +190,44 @@ class GenerationFuzzer:
             delivered = result.delivered \
                 if result.delivered is not None else [packet]
             self._run_oracle(outcome, [(model.name, delivered)])
+            self._maybe_steer_divergence(outcome, tree)
+        self._absorb_net_stats()
         return outcome
 
     def _on_valuable_seed(self, seed) -> None:
         """Hook for feedback-driven engines; baseline does nothing."""
+
+    def _maybe_steer_divergence(self, outcome: IterationOutcome,
+                                tree: Optional[InsTree]) -> None:
+        """Divergence-aware seed scoring (``--steer-divergence``).
+
+        The ``consider`` call already folded this execution's coverage
+        into the virgin map, so a steered seed is ``force_add``-ed
+        without a second merge — journal-replay resume stays
+        bit-identical.
+        """
+        if not self.steer_divergence or not outcome.new_divergences:
+            return
+        result = outcome.result
+        if outcome.valuable or result.coverage is None \
+                or result.crash is not None or result.hang:
+            return
+        seed = self.seed_pool.force_add(
+            outcome.packet, outcome.model_name, tree, result.coverage,
+            self.stats.executions, self.clock.now_ms)
+        outcome.valuable = True
+        self.stats.valuable_seeds += 1
+        self.stats.steered_seeds += 1
+        self._on_valuable_seed(seed)
+
+    def _absorb_net_stats(self) -> None:
+        """Fold a socket target's wall-clock event deltas into stats."""
+        take = getattr(self.target, "take_net_counters", None)
+        if take is None:
+            return
+        timeouts, reconnects = take()
+        self.stats.net_timeouts += timeouts
+        self.stats.net_reconnects += reconnects
 
     def _run_oracle(self, outcome: IterationOutcome, frames_per_step) -> None:
         """Examine delivered frames for divergence; dedup new findings.
@@ -236,8 +284,9 @@ class PeachStar(GenerationFuzzer):
                  semantic_enabled: bool = True,
                  semantic_ratio: float = 0.5,
                  pin_prob: float = 0.5,
-                 oracle=None):
-        super().__init__(pit, target, rng, clock, policy, oracle=oracle)
+                 oracle=None, steer_divergence: bool = False):
+        super().__init__(pit, target, rng, clock, policy, oracle=oracle,
+                         steer_divergence=steer_divergence)
         self.corpus = PuzzleCorpus(rng=random.Random(rng.getrandbits(32)))
         self.cracker = FileCracker(pit, self.corpus)
         self.generator = SemanticGenerator(

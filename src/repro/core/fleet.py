@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.campaign import (
     CampaignConfig, CampaignResult, _drive_campaign, config_to_dict,
     default_worker_count, rebuild_workspace_engine,
-    validate_session_support,
+    validate_campaign_config,
 )
 from repro.core.seedpool import ValuableSeed
 from repro.core.stats import merge_crash_reports, merge_divergence_reports
@@ -333,7 +333,7 @@ def run_fleet(engine_name: str, target_spec, *, shards: int,
     uninterrupted run reaches.
     """
     config = config if config is not None else CampaignConfig()
-    validate_session_support(engine_name, target_spec, config)
+    validate_campaign_config(engine_name, target_spec, config)
     fleet = FleetWorkspace(workspace_dir)
     fleet.initialize(engine_name, target_spec.name, seed, shards,
                      sync_every,

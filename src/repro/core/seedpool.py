@@ -64,6 +64,30 @@ class SeedPool:
         self.seeds.append(seed)
         return seed
 
+    def force_add(self, packet: bytes, model_name: str,
+                  tree: Optional[InsTree], coverage_map: CoverageMap,
+                  execution_index: int, sim_time_ms: float) -> ValuableSeed:
+        """Retain a seed regardless of the virgin map's verdict.
+
+        Divergence steering (``--steer-divergence``) uses this for a
+        seed whose coverage is stale but whose *behavior* is new (a
+        first-seen parse-divergence site).  The map's bits were already
+        folded into the virgin map by the earlier ``consider`` call, so
+        no merge happens here — which also keeps journal-replay resume
+        bit-identical (re-ORing already-set bits is idempotent).
+        """
+        seed = ValuableSeed(
+            packet=packet,
+            model_name=model_name,
+            tree=tree,
+            execution_index=execution_index,
+            sim_time_ms=sim_time_ms,
+            edges_touched=coverage_map.edge_count(),
+            path_hash=coverage_map.path_hash(),
+        )
+        self.seeds.append(seed)
+        return seed
+
     @property
     def path_count(self) -> int:
         """Paths covered = number of valuable seeds retained (AFL queue)."""

@@ -1,0 +1,31 @@
+"""Live-network target layer: serve the simulated protocol servers over
+TCP and drive live endpoints through the ``Target`` contract.
+
+See :mod:`repro.net.serve` (the ``peachstar serve`` asyncio server),
+:mod:`repro.net.target` (:class:`SocketTarget` + loopback harness) and
+:mod:`repro.net.framing` (the peachstar envelope and the per-protocol
+raw stream framers).
+"""
+
+from repro.net.config import (
+    FRAMING_CHOICES, NetConfig, TCP_SCHEME, parse_tcp_url,
+)
+from repro.net.framing import (
+    EnvelopeError, StreamFramer, encode_envelope, framer_for,
+    read_envelope,
+)
+from repro.net.serve import ServeApp, bound_address, serve_forever, \
+    start_serving
+from repro.net.target import (
+    DROP_SITE, NetTargetError, SocketTarget, make_loopback_target,
+    make_net_target, make_socket_target,
+)
+
+__all__ = [
+    "FRAMING_CHOICES", "NetConfig", "TCP_SCHEME", "parse_tcp_url",
+    "EnvelopeError", "StreamFramer", "encode_envelope", "framer_for",
+    "read_envelope",
+    "ServeApp", "bound_address", "serve_forever", "start_serving",
+    "DROP_SITE", "NetTargetError", "SocketTarget", "make_loopback_target",
+    "make_net_target", "make_socket_target",
+]

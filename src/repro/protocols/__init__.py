@@ -43,6 +43,9 @@ class TargetSpec:
     #: `peachstar fuzz --sessions` hand-modelled mode requires it;
     #: `--learn-states` infers an automaton instead and works without)
     make_state_model: Optional[Callable] = None
+    #: raw TCP stream framing this protocol family speaks on the wire
+    #: (key into :func:`repro.net.framing.framer_for`)
+    framing: str = "apci"
 
     @property
     def seeded_bug_count(self) -> int:
@@ -76,6 +79,7 @@ def _register(spec: TargetSpec) -> None:
 
 _register(TargetSpec(
     name="libmodbus",
+    framing="mbap",
     paper_project="libmodbus",
     make_server=modbus.ModbusServer,
     make_pit=modbus.make_pit,
@@ -90,6 +94,7 @@ _register(TargetSpec(
 
 _register(TargetSpec(
     name="iec104",
+    framing="apci",
     paper_project="IEC104",
     make_server=iec104.Iec104Server,
     make_pit=iec104.make_pit,
@@ -101,6 +106,7 @@ _register(TargetSpec(
 
 _register(TargetSpec(
     name="lib60870",
+    framing="apci",
     paper_project="lib60870",
     make_server=lib60870.Lib60870Server,
     make_pit=lib60870.make_pit,
@@ -116,6 +122,7 @@ _register(TargetSpec(
 
 _register(TargetSpec(
     name="opendnp3",
+    framing="dnp3",
     paper_project="opendnp3",
     make_server=dnp3.Dnp3Server,
     make_pit=dnp3.make_pit,
@@ -127,6 +134,7 @@ _register(TargetSpec(
 
 _register(TargetSpec(
     name="libiec61850",
+    framing="tpkt",
     paper_project="libiec61850",
     make_server=iec61850.Iec61850Server,
     make_pit=iec61850.make_pit,
@@ -138,6 +146,7 @@ _register(TargetSpec(
 
 _register(TargetSpec(
     name="libiccp",
+    framing="tpkt",
     paper_project="libiec iccp mod",
     make_server=iccp.IccpServer,
     make_pit=iccp.make_pit,

@@ -120,6 +120,16 @@ class Target:
         self.channel = channel
         self.executions = 0
 
+    def close(self) -> None:
+        """Release transport resources (none in-process).
+
+        Part of the target contract so the campaign driver can tear
+        every target kind down uniformly — the live-network
+        :class:`repro.net.target.SocketTarget` (which duck-types this
+        class) closes its connections, served loopback server and event
+        loop here.
+        """
+
     def run(self, packet: bytes, model_name: Optional[str] = None) -> ExecResult:
         """Execute *packet* against the server; never lets faults escape."""
         self.executions += 1

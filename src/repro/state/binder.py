@@ -136,3 +136,35 @@ class TraceBinder:
             node = tree.find(leaf)
             if node is not None and node.is_leaf and node.value is not None:
                 self.vars[var] = node.value
+
+
+class LaneBinder:
+    """Per-lane session variables for a concurrency-N trace.
+
+    With ``--concurrency N`` step *i* of a trace travels on connection
+    ``i % N`` (see :meth:`repro.net.target.SocketTarget.run_trace`), so
+    the steps of one wire session are the index residue class — and
+    their session variables must not leak across lanes: connection A's
+    captured sequence number is meaningless to connection B.  LaneBinder
+    holds one :class:`TraceBinder` per lane over the *full* step list
+    (indices stay global) and routes ``prepare``/``observe`` by the same
+    ``index % lanes`` rule the transport deals by.
+    """
+
+    def __init__(self, pit: Pit, steps: Sequence[TraceStep],
+                 lanes: int):
+        if lanes < 1:
+            raise ValueError(f"lanes {lanes} < 1")
+        self.lanes = lanes
+        self._binders = [TraceBinder(pit, steps) for _ in range(lanes)]
+
+    @property
+    def vars(self) -> Dict[str, object]:
+        """Lane 0's variables (the single-lane-compatible view)."""
+        return self._binders[0].vars
+
+    def prepare(self, index: int, packet: bytes) -> bytes:
+        return self._binders[index % self.lanes].prepare(index, packet)
+
+    def observe(self, index: int, response: Optional[bytes]) -> None:
+        self._binders[index % self.lanes].observe(index, response)

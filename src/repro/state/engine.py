@@ -40,7 +40,7 @@ from repro.model.instree import InsTree
 from repro.model.mutators import GenerationPolicy
 from repro.runtime.clock import SimulatedClock
 from repro.runtime.target import Target
-from repro.state.binder import TraceBinder, apply_pins
+from repro.state.binder import LaneBinder, TraceBinder, apply_pins
 from repro.state.model import StateModel, Transition
 from repro.state.trace import (
     TraceError, TraceStep, decode_trace, encode_trace, is_trace_blob,
@@ -61,6 +61,15 @@ class SessionFuzzer(PeachStar):
     fresh_trace_prob:
         Probability of proposing a fresh walk instead of mutating a
         valuable trace (always 1.0 while the trace pool is empty).
+    concurrency:
+        ``--concurrency N``: a trace is N interleaved wire sessions —
+        the transport deals step *i* to connection ``i % N`` against a
+        shared-state server, session variables are scoped per lane
+        (:class:`~repro.state.binder.LaneBinder`), and fresh walks are
+        N independent state-machine walks merged round-robin so each
+        lane is itself a plausible session.  Requires a shared-state
+        :class:`~repro.net.target.SocketTarget` to mean anything; with
+        the default in-process target it degrades to plain sessions.
     """
 
     engine_name = "peach-star"
@@ -78,6 +87,7 @@ class SessionFuzzer(PeachStar):
                  state_model: Optional[StateModel] = None,
                  max_trace_steps: int = 6,
                  fresh_trace_prob: float = 0.35,
+                 concurrency: int = 1,
                  **peachstar_kwargs):
         super().__init__(pit, target, rng, clock, policy,
                          **peachstar_kwargs)
@@ -87,14 +97,20 @@ class SessionFuzzer(PeachStar):
         self.state_model = state_model
         self.max_trace_steps = max(1, max_trace_steps)
         self.fresh_trace_prob = fresh_trace_prob
+        self.concurrency = max(1, concurrency)
         self.session_model_name = trace_model_name(state_model.name)
 
     # -- one iteration ---------------------------------------------------
 
+    def _make_binder(self, steps: List[TraceStep]):
+        if self.concurrency > 1:
+            return LaneBinder(self.pit, steps, self.concurrency)
+        return TraceBinder(self.pit, steps)
+
     def iterate(self) -> IterationOutcome:
         """Produce one trace, run it as a session, record the outcome."""
         steps = self._produce_trace()
-        binder = TraceBinder(self.pit, steps)
+        binder = self._make_binder(steps)
         result = self.target.run_trace(
             [(step.packet, step.model_name) for step in steps], binder)
         for _ in range(result.steps_executed):
@@ -145,6 +161,8 @@ class SessionFuzzer(PeachStar):
             self._run_oracle(outcome, [
                 (steps[index].model_name, frames)
                 for index, frames in enumerate(per_step)])
+            self._maybe_steer_divergence(outcome, None)
+        self._absorb_net_stats()
         return outcome
 
     # -- cracking --------------------------------------------------------
@@ -268,7 +286,7 @@ class SessionFuzzer(PeachStar):
             state = transition.to
         return steps
 
-    def _fresh_walk(self) -> List[TraceStep]:
+    def _single_walk(self) -> List[TraceStep]:
         steps = self._walk(self.state_model.initial,
                            self.rng.randint(1, self.max_trace_steps))
         if not steps:
@@ -279,6 +297,31 @@ class SessionFuzzer(PeachStar):
                                state=self.state_model.initial, tree=tree,
                                semantic=semantic)]
         return steps
+
+    def _fresh_walk(self) -> List[TraceStep]:
+        if self.concurrency <= 1:
+            return self._single_walk()
+        # concurrency: N independent walks merged round-robin, so the
+        # residue class ``i % N`` (= what each connection sees) is a
+        # plausible session on its own.  Lane identity stays positional;
+        # mutated traces re-deal however their steps land, which is
+        # exactly the kind of cross-session interleaving being fuzzed.
+        walks = [self._single_walk() for _ in range(self.concurrency)]
+        merged: List[TraceStep] = []
+        for rank in range(max(len(walk) for walk in walks)):
+            for walk in walks:
+                merged.append(walk[rank] if rank < len(walk)
+                              else self._filler_step(walk))
+        return self._clip(merged)
+
+    def _filler_step(self, walk: List[TraceStep]) -> TraceStep:
+        """Keep a short walk's lane aligned: repeat its final step.
+
+        Re-sending the last packet of the exhausted walk keeps every
+        rank a full deal of N steps (so ``i % N`` routing never skews)
+        and is itself a realistic retransmission.
+        """
+        return walk[-1]
 
     # -- mutation ops ----------------------------------------------------
 

@@ -4,6 +4,10 @@ Layout of a workspace directory::
 
     <root>/
       config.json     campaign manifest: engine, target, seed, config
+                      (including the live-network NetConfig, when set —
+                      a killed socket campaign resumes with the exact
+                      transport scenario it started with: url, framing,
+                      timeout/reconnect axes, concurrency degree)
       state.json      atomic checkpoint (RNG/clock/corpus/stats snapshot)
       corpus/         one <exec>.bin + <exec>.json per valuable seed
       crashes/        one <slug>.bin + <slug>.json per unique crash

@@ -205,7 +205,8 @@ def triage_reports(target_spec, reports: Iterable[CrashReport], *,
                    out_dir: Optional[str] = None,
                    coverage_backend: str = "auto",
                    hang_budget: int = 120_000,
-                   jobs: Optional[int] = None) -> TriageReport:
+                   jobs: Optional[int] = None,
+                   net_url: Optional[str] = None) -> TriageReport:
     """Run the full triage pass over a set of crash reports.
 
     Buckets by the refined ``(kind, site, context)`` key, minimizes each
@@ -214,7 +215,8 @@ def triage_reports(target_spec, reports: Iterable[CrashReport], *,
     and (when *out_dir* is given) exports a standalone reproducer script
     plus raw packet — or encoded trace, for session crashes — per
     bucket.  *coverage_backend*/*hang_budget* mirror the campaign the
-    crashes came from.
+    crashes came from.  *net_url* makes server-crash reproducers
+    replay over a socket against a served ``tcp://`` endpoint.
     """
     buckets = bucket_crashes(reports)
     minimizations: List[Optional[MinimizationResult]] = [None] * len(buckets)
@@ -231,7 +233,8 @@ def triage_reports(target_spec, reports: Iterable[CrashReport], *,
         if out_dir is not None:
             crash.packet_path, crash.script_path = export_reproducer(
                 out_dir, bucket.slug(), target_spec.name,
-                crash.final_report, crash.final_packet)
+                crash.final_report, crash.final_packet,
+                net_url=net_url)
         triaged.append(crash)
     return TriageReport(
         target_name=target_spec.name,

@@ -1,0 +1,184 @@
+"""Burst loss on the faulting channel (``--channel-faults-burst``).
+
+The burst fault drops a run of 2..N consecutive frames while spending
+RNG draws only at burst start, so the draw sequence — and with it every
+checkpoint/resume guarantee — stays a pure function of the checkpointed
+RNG state.  ``burst == 0`` must leave the selection roll space exactly
+as it was, so pre-burst seeded campaigns replay bit-identically.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.channel import FAULT_KINDS, FaultingChannel
+from repro.core import CampaignConfig, resume_campaign, run_campaign
+from repro.protocols import get_target
+
+
+class ScriptedRng:
+    """Scripted rolls (``random``) and draws (``randrange``/``randint``)."""
+
+    def __init__(self, rolls, ints=()):
+        self.rolls = list(rolls)
+        self.ints = list(ints)
+
+    def random(self):
+        return self.rolls.pop(0)
+
+    def randrange(self, n):
+        return self.ints.pop(0) % n
+
+    def randint(self, low, high):
+        return low + self.ints.pop(0) % (high - low + 1)
+
+
+def _pump(channel, frames):
+    delivered = []
+    for index, wire in enumerate(frames):
+        delivered.append(tuple(channel.transmit(index, wire)))
+    delivered.append(tuple(channel.flush()))
+    return delivered
+
+
+WIRE = bytes(range(8))
+
+#: the burst entry sits after the five base faults in the menu
+BURST_INDEX = len(FAULT_KINDS)
+
+
+class TestBurstUnit:
+    def test_negative_burst_rejected(self):
+        with pytest.raises(ValueError):
+            FaultingChannel(0.5, random.Random(0), burst=-1)
+
+    def test_burst_drops_a_run_without_midburst_rolls(self):
+        # one selection roll + one length draw start the burst; the
+        # continuation frames must spend NOTHING (the scripted RNG
+        # would raise on any extra draw)
+        rng = ScriptedRng([0.0, 1.0], [BURST_INDEX, 1])  # randint -> 3
+        channel = FaultingChannel(0.5, rng, burst=4)
+        assert channel.transmit(0, WIRE) == []   # burst start
+        assert channel.transmit(1, WIRE) == []   # mid-burst, no rolls
+        assert channel.transmit(2, WIRE) == []   # mid-burst, no rolls
+        assert channel.transmit(3, WIRE) == [WIRE]  # burst over: 1.0 roll
+        assert channel.faults_injected == 3
+        assert channel.fault_counts["burst"] == 3
+
+    def test_burst_length_is_clamped_to_at_least_two(self):
+        rng = ScriptedRng([0.0, 1.0], [BURST_INDEX, 0])  # randint -> 2
+        channel = FaultingChannel(0.5, rng, burst=2)
+        assert channel.transmit(0, WIRE) == []
+        assert channel.transmit(1, WIRE) == []
+        assert channel.transmit(2, WIRE) == [WIRE]
+        assert channel.fault_counts["burst"] == 2
+
+    def test_held_reorder_frame_survives_a_burst(self):
+        held = b"held-by-reorder"
+        rng = ScriptedRng([0.0, 0.0],
+                          [FAULT_KINDS.index("reorder"), BURST_INDEX, 0])
+        channel = FaultingChannel(1.0, rng, burst=2)
+        assert channel.transmit(0, held) == []
+        # the burst eats the new frame but still delivers the held one —
+        # the outage is ahead of the reorder buffer, not behind it
+        assert channel.transmit(1, WIRE) == [held]
+        assert channel.transmit(2, WIRE) == []
+        assert channel.flush() == []
+
+    def test_zero_burst_keeps_the_menu_unchanged(self):
+        # with burst=0 the selection roll space must be exactly the
+        # five base faults, or every pre-burst seeded campaign would
+        # replay differently
+        with_default = FaultingChannel(0.4, random.Random(77))
+        with_zero = FaultingChannel(0.4, random.Random(77), burst=0)
+        frames = [bytes([seed] * (3 + seed % 9)) for seed in range(64)]
+        assert _pump(with_default, frames) == _pump(with_zero, frames)
+        assert with_default._menu() == FAULT_KINDS
+        assert with_zero._menu() == FAULT_KINDS
+
+    def test_reset_clears_a_burst_in_progress(self):
+        rng = ScriptedRng([0.0, 1.0], [BURST_INDEX, 1])
+        channel = FaultingChannel(0.5, rng, burst=4)
+        channel.transmit(0, WIRE)
+        assert channel._burst_remaining > 0
+        channel.reset()
+        assert channel._burst_remaining == 0
+        assert channel.transmit(1, WIRE) == [WIRE]  # spends the 1.0 roll
+
+
+class TestBurstDeterminism:
+    FRAMES = [bytes([seed] * (3 + seed % 9)) for seed in range(128)]
+
+    def test_same_seed_same_stream(self):
+        first = FaultingChannel(0.4, random.Random(77), burst=5)
+        second = FaultingChannel(0.4, random.Random(77), burst=5)
+        assert _pump(first, self.FRAMES) == _pump(second, self.FRAMES)
+        assert first.fault_counts == second.fault_counts
+        assert first.fault_counts["burst"] > 0
+        assert sum(first.fault_counts.values()) == first.faults_injected
+
+    def test_snapshot_restore_roundtrips_midstream(self):
+        reference = FaultingChannel(0.4, random.Random(9), burst=5)
+        _pump(reference, self.FRAMES[:64])
+        blob = json.loads(json.dumps(reference.snapshot()))
+        assert blob["burst"] == 5
+        tail_expected = _pump(reference, self.FRAMES[64:])
+
+        rewound = FaultingChannel(0.9, random.Random(0))
+        rewound.restore(blob)
+        assert rewound.burst == 5
+        assert rewound.fault_counts["burst"] == blob["fault_counts"]["burst"]
+        assert _pump(rewound, self.FRAMES[64:]) == tail_expected
+
+    def test_legacy_snapshot_without_burst_fields_restores(self):
+        # a pre-burst workspace checkpoint has no burst keys: restoring
+        # one must come up with the burst fault disabled, not KeyError
+        blob = FaultingChannel(0.4, random.Random(3)).snapshot()
+        del blob["burst"]
+        del blob["burst_remaining"]
+        del blob["fault_counts"]["burst"]
+        channel = FaultingChannel(0.1, random.Random(0), burst=7)
+        channel.restore(blob)
+        assert channel.burst == 0
+        assert channel._burst_remaining == 0
+        assert channel.fault_counts["burst"] == 0
+
+
+class TestBurstCampaignAcceptance:
+    def _config(self, **overrides):
+        base = dict(budget_hours=24.0, max_executions=300, record_every=10,
+                    checkpoint_every=50, sessions=True,
+                    channel_faults=0.25, channel_burst=4)
+        base.update(overrides)
+        return CampaignConfig(**base)
+
+    def _signature(self, result):
+        return (
+            result.series, result.final_paths, result.final_edges,
+            result.executions,
+            sorted(report.dedup_key for report in result.unique_crashes),
+            sorted(report.dedup_key
+                   for report in result.unique_divergences),
+            result.crash_times, result.stats, result.path_hashes,
+        )
+
+    def test_burst_without_faults_is_rejected(self):
+        spec = get_target("iec104")
+        with pytest.raises(ValueError):
+            run_campaign("peach-star", spec, seed=0,
+                         config=self._config(channel_faults=0.0))
+
+    def test_burst_campaign_kill_resume_bit_identical(self, tmp_path):
+        spec = get_target("iec104")
+        full = run_campaign(
+            "peach-star", spec, seed=11,
+            config=self._config(workspace=str(tmp_path / "full")))
+        assert full.stats["channel_faults"] > 0
+
+        killed_dir = str(tmp_path / "killed")
+        assert run_campaign("peach-star", spec, seed=11,
+                            config=self._config(workspace=killed_dir),
+                            stop_after_executions=173) is None
+        resumed = resume_campaign(killed_dir)
+        assert self._signature(resumed) == self._signature(full)

@@ -1,0 +1,79 @@
+"""Divergence-aware seed scoring (``--steer-divergence``).
+
+A frame whose parse paths disagree is interesting even when it reaches
+no new coverage: the disagreement itself marks territory worth mutating
+around.  With steering on, a divergence-bearing execution that the
+coverage oracle alone would discard is force-added to the corpus —
+without re-folding its map into the virgin bits, so journal-replay
+resume stays idempotent.
+"""
+
+import pytest
+
+from repro.core import (
+    CampaignConfig, make_engine, resume_campaign, run_campaign,
+)
+from repro.protocols import get_target
+
+_IEC104 = get_target("iec104")
+
+
+def _config(**overrides):
+    base = dict(budget_hours=24.0, max_executions=400, record_every=10,
+                checkpoint_every=50, channel_faults=0.25,
+                steer_divergence=True)
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def _signature(result):
+    return (
+        result.series, result.final_paths, result.final_edges,
+        result.executions,
+        sorted(report.dedup_key for report in result.unique_crashes),
+        sorted(report.dedup_key for report in result.unique_divergences),
+        result.crash_times, result.stats, result.path_hashes,
+    )
+
+
+class TestSteering:
+    def test_divergence_bearing_seed_enters_the_corpus(self):
+        steered = run_campaign("peach-star", _IEC104, seed=11,
+                               config=_config())
+        plain = run_campaign("peach-star", _IEC104, seed=11,
+                             config=_config(steer_divergence=False))
+        assert steered.stats["steered_seeds"] > 0
+        assert plain.stats["steered_seeds"] == 0
+        # every steered seed is a corpus entry the coverage oracle alone
+        # did not admit: the steered path count grows past the baseline
+        assert steered.final_paths > plain.final_paths
+        assert steered.stats["valuable_seeds"] == steered.final_paths
+
+    def test_steering_applies_in_session_mode(self):
+        steered = run_campaign("peach-star", _IEC104, seed=11,
+                               config=_config(sessions=True))
+        assert steered.stats["steered_seeds"] > 0
+
+    def test_steering_auto_enables_the_differential_oracle(self):
+        # steering without an explicit channel-fault rate still needs
+        # the oracle running, or there is nothing to steer on
+        engine = make_engine("peach-star", _IEC104, 0,
+                             _config(channel_faults=0.0))
+        assert engine.oracle is not None
+        off = make_engine("peach-star", _IEC104, 0,
+                          _config(channel_faults=0.0,
+                                  steer_divergence=False))
+        assert off.oracle is None
+
+    def test_steered_campaign_kill_resume_bit_identical(self, tmp_path):
+        full = run_campaign(
+            "peach-star", _IEC104, seed=11,
+            config=_config(workspace=str(tmp_path / "full")))
+        assert full.stats["steered_seeds"] > 0
+
+        killed_dir = str(tmp_path / "killed")
+        assert run_campaign("peach-star", _IEC104, seed=11,
+                            config=_config(workspace=killed_dir),
+                            stop_after_executions=173) is None
+        resumed = resume_campaign(killed_dir)
+        assert _signature(resumed) == _signature(full)

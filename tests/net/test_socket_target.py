@@ -1,0 +1,299 @@
+"""SocketTarget conformance matrix.
+
+One row per protocol family and transport axis:
+
+* **round-trip** — envelope loopback executions observe the same
+  response/coverage/crash surface as the in-process ``Target``;
+* **raw round-trip** — the protocol's own stream framing carries the
+  same responses an in-process run produces;
+* **timeout** — a black-hole endpoint (accepts, never answers) surfaces
+  as silence in raw mode and as a poisoned-lane hang in envelope mode,
+  with ``net_timeouts`` counting either way;
+* **reconnect** — an endpoint that drops mid-session synthesizes a
+  ``connection-dropped`` crash and the reconnect budget re-opens the
+  lane, counted in ``net_reconnects``.
+
+Everything binds port 0: the matrix never collides with a busy port.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net import (
+    DROP_SITE, NetConfig, NetTargetError, SocketTarget,
+    make_loopback_target, make_socket_target,
+)
+from repro.net.framing import (
+    MSG_ACK, MSG_DATA, MSG_RESET, encode_envelope, read_envelope,
+)
+from repro.protocols import all_targets, get_target
+from repro.runtime.instrument import TracingCollector
+from repro.runtime.target import Target
+
+TARGET_NAMES = [spec.name for spec in all_targets()]
+
+
+def _collector():
+    return TracingCollector(("repro/protocols",))
+
+
+def default_wires(spec, limit=None):
+    pit = spec.make_pit()
+    models = pit.models()[:limit] if limit else pit.models()
+    return [(model.name, model.to_wire(model.build_default()))
+            for model in models]
+
+
+def _surface(result):
+    """The observable outcome of one execution, for parity comparison."""
+    crash = None if result.crash is None else result.crash.dedup_key
+    return (result.response, crash, result.hang, result.blocks_executed)
+
+
+# -- scripted endpoints for the failure rows ----------------------------------
+
+class _Endpoint:
+    """A scripted asyncio endpoint on the SocketTarget's own loop."""
+
+    def __init__(self, handler):
+        self.loop = asyncio.new_event_loop()
+        self.server = self.loop.run_until_complete(
+            asyncio.start_server(handler, "127.0.0.1", 0))
+        self.address = self.server.sockets[0].getsockname()[:2]
+
+    def target(self, **kwargs):
+        return SocketTarget(self.address, loop=self.loop,
+                            server=self.server, **kwargs)
+
+
+async def _black_hole(reader, writer):
+    """Accept, swallow everything, never answer."""
+    while await reader.read(4096):
+        pass
+    writer.close()
+
+
+async def _slam_shut(reader, writer):
+    """Accept and immediately hang up."""
+    writer.close()
+
+
+async def _ack_then_drop(reader, writer):
+    """Speak the envelope just long enough to pass a session reset."""
+    while True:
+        message = await read_envelope(reader)
+        if message is None:
+            break
+        kind, _ = message
+        if kind == MSG_RESET:
+            writer.write(encode_envelope(MSG_ACK))
+            await writer.drain()
+        elif kind == MSG_DATA:
+            break  # drop mid-session, like a crashed server
+    writer.close()
+
+
+# -- round-trip rows ----------------------------------------------------------
+
+class TestEnvelopeRoundTrip:
+    @pytest.mark.parametrize("name", TARGET_NAMES)
+    def test_loopback_matches_in_process(self, name):
+        spec = get_target(name)
+        socket_target = make_loopback_target(spec, collector=_collector(),
+                                             net=NetConfig())
+        local_target = Target(spec.make_server, _collector())
+        try:
+            for model_name, wire in default_wires(spec):
+                over_socket = socket_target.run(wire, model_name)
+                in_process = local_target.run(wire, model_name)
+                assert _surface(over_socket) == _surface(in_process), \
+                    f"{name}/{model_name} diverged over the socket"
+        finally:
+            socket_target.close()
+        assert socket_target.take_net_counters() == (0, 0)
+
+    def test_closed_target_refuses_to_run(self):
+        spec = get_target("iec104")
+        target = make_loopback_target(spec, net=NetConfig())
+        target.close()
+        with pytest.raises(NetTargetError):
+            target.run(b"\x68\x04\x07\x00\x00\x00")
+        target.close()  # idempotent
+
+
+class TestRawRoundTrip:
+    @pytest.mark.parametrize("name", TARGET_NAMES)
+    def test_loopback_matches_in_process(self, name):
+        spec = get_target(name)
+        net = NetConfig(framing="raw", timeout_ms=150.0)
+        socket_target = make_loopback_target(spec, net=net)
+        local_target = Target(spec.make_server, None)
+        try:
+            for model_name, wire in default_wires(spec, limit=3):
+                over_socket = socket_target.run(wire, model_name)
+                expected = local_target.run(wire, model_name).response
+                # raw framing carries response bytes verbatim; a silent
+                # server is indistinguishable from a timeout outside
+                assert over_socket.response == expected, \
+                    f"{name}/{model_name} diverged over raw framing"
+                assert over_socket.crash is None
+        finally:
+            socket_target.close()
+
+
+# -- timeout rows -------------------------------------------------------------
+
+class TestTimeoutRow:
+    @pytest.mark.parametrize("name", TARGET_NAMES)
+    def test_raw_silence_is_none_response(self, name):
+        spec = get_target(name)
+        endpoint = _Endpoint(_black_hole)
+        target = endpoint.target(framing="raw", framer_name=spec.framing,
+                                 timeout_ms=100.0, reconnect=0)
+        try:
+            result = target.run(b"\x00\x01\x02\x03")
+            assert result.response is None
+            assert result.crash is None and not result.hang
+            assert target.net_timeouts == 1
+        finally:
+            target.close()
+
+    def test_envelope_timeout_poisons_the_lane_as_a_hang(self):
+        endpoint = _Endpoint(_black_hole)
+        target = endpoint.target(framing="peachstar", timeout_ms=100.0,
+                                 reconnect=0)
+        try:
+            # the black hole never ACKs the session reset
+            with pytest.raises(NetTargetError):
+                target.run(b"data")
+        finally:
+            target.close()
+
+    def test_envelope_data_timeout_is_a_hang(self):
+        async def ack_then_sleep(reader, writer):
+            while True:
+                message = await read_envelope(reader)
+                if message is None:
+                    break
+                if message[0] == MSG_RESET:
+                    writer.write(encode_envelope(MSG_ACK))
+                    await writer.drain()
+                # DATA: never answer — a remotely hung server
+            writer.close()
+
+        endpoint = _Endpoint(ack_then_sleep)
+        target = endpoint.target(framing="peachstar", timeout_ms=100.0,
+                                 reconnect=0)
+        try:
+            result = target.run(b"data")
+            assert result.hang and result.crash is None
+            assert target.net_timeouts == 1
+        finally:
+            target.close()
+
+
+# -- reconnect rows -----------------------------------------------------------
+
+class TestReconnectRow:
+    @pytest.mark.parametrize("name", TARGET_NAMES)
+    def test_raw_drop_synthesizes_a_crash_and_reconnects(self, name):
+        spec = get_target(name)
+        endpoint = _Endpoint(_slam_shut)
+        target = endpoint.target(framing="raw", framer_name=spec.framing,
+                                 timeout_ms=100.0, reconnect=2)
+        try:
+            first = target.run(b"\x00\x01\x02\x03")
+            assert first.crash is not None
+            assert first.crash.dedup_key == ("connection-dropped", DROP_SITE)
+            second = target.run(b"\x00\x01\x02\x03")
+            assert second.crash is not None
+            # the second session re-opened a lane that had already been
+            # connected once: that is a counted reconnect
+            assert target.net_reconnects >= 1
+        finally:
+            target.close()
+
+    def test_envelope_drop_mid_session_synthesizes_a_crash(self):
+        endpoint = _Endpoint(_ack_then_drop)
+        target = endpoint.target(framing="peachstar", timeout_ms=500.0,
+                                 reconnect=2)
+        try:
+            result = target.run(b"data")
+            assert result.crash is not None
+            assert result.crash.dedup_key == ("connection-dropped", DROP_SITE)
+            assert result.crash.packet == b"data"
+        finally:
+            target.close()
+
+    def test_unreachable_endpoint_exhausts_the_budget(self):
+        # bind a port, then close it: nothing listens there any more
+        endpoint = _Endpoint(_black_hole)
+        endpoint.server.close()
+        endpoint.loop.run_until_complete(endpoint.server.wait_closed())
+        target = SocketTarget(endpoint.address, loop=endpoint.loop,
+                              framing="peachstar",
+                              connect_timeout_ms=200.0, reconnect=1)
+        try:
+            with pytest.raises(NetTargetError):
+                target.run(b"data")
+        finally:
+            target.close()
+
+
+# -- trace delivery over lanes ------------------------------------------------
+
+class TestTraceOverSocket:
+    def test_run_trace_matches_in_process(self):
+        spec = get_target("iec104")
+        steps = [(wire, model_name)
+                 for model_name, wire in default_wires(spec)]
+        socket_target = make_loopback_target(spec, collector=_collector(),
+                                             net=NetConfig())
+        local_target = Target(spec.make_server, _collector())
+        try:
+            over_socket = socket_target.run_trace(steps)
+            in_process = local_target.run_trace(steps)
+            assert over_socket.responses == in_process.responses
+            assert over_socket.steps_executed == in_process.steps_executed
+            assert over_socket.hang == in_process.hang
+            assert over_socket.blocks_executed == in_process.blocks_executed
+        finally:
+            socket_target.close()
+
+    def test_concurrency_deals_steps_round_robin(self):
+        spec = get_target("iec104")
+        net = NetConfig(concurrency=3)
+        target = make_loopback_target(spec, net=net)
+        try:
+            assert len(target._lanes) == 3
+            # shared-state serving is forced: N lanes race one session
+            assert target.app.shared_state
+            steps = [(wire, model_name)
+                     for model_name, wire in default_wires(spec)] * 2
+            result = target.run_trace(steps)
+            assert result.steps_executed == len(steps)
+            assert target.app.connections == 3
+        finally:
+            target.close()
+
+
+class TestMakeSocketTarget:
+    """The triage-reproducer replay constructor."""
+
+    def test_loopback_replay_serves_the_named_target(self):
+        # `triage --net-url loopback` exports scripts whose default
+        # endpoint is the literal string "loopback" — replay must serve
+        # the named target itself rather than demand a tcp:// url
+        target = make_socket_target("loopback", target_name="iec104")
+        try:
+            model_name, wire = default_wires(get_target("iec104"))[0]
+            result = target.run(wire, model_name)
+            assert result.response is not None
+            assert result.crash is None
+        finally:
+            target.close()
+
+    def test_loopback_replay_needs_a_target_name(self):
+        with pytest.raises(ValueError):
+            make_socket_target("loopback")
