@@ -17,9 +17,13 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.engine import GenerationFuzzer, PeachStar
+from repro.core.seedpool import SeedPool
 from repro.model.mutators import GenerationPolicy
 from repro.net.config import NetConfig
 from repro.runtime.clock import SimulatedClock
+from repro.runtime.coverage import (
+    make_coverage_map, make_global_coverage, resolve_coverage_impl,
+)
 from repro.runtime.instrument import make_line_collector
 from repro.runtime.target import Target
 from repro.sanitizer.report import CrashReport
@@ -130,6 +134,13 @@ class CampaignConfig:
     net: Optional[NetConfig] = None
     #: line-coverage backend: "auto" | "monitoring" | "settrace"
     coverage_backend: str = "auto"
+    #: coverage-map implementation: "auto" | "sparse" | "vector"
+    #: (``REPRO_COVERAGE_IMPL`` overrides "auto"; both are parity-pinned
+    #: bit-for-bit, "vector" needs numpy)
+    coverage_impl: str = "auto"
+    #: iterations executed per collector window by the batched pipeline
+    #: (1 = unbatched; the outcome stream is bit-identical either way)
+    batch_size: int = 16
     #: directory to persist the campaign into (None = in-memory only).
     #: One workspace per campaign: batch tasks must not share one.
     workspace: Optional[str] = None
@@ -192,6 +203,9 @@ def validate_campaign_config(engine_name: str, target_spec,
     initializes shard workspaces.
     """
     validate_session_support(engine_name, target_spec, config)
+    if config.batch_size < 1:
+        raise ValueError(f"batch size {config.batch_size} < 1")
+    resolve_coverage_impl(config.coverage_impl)  # raises when unusable
     if config.channel_burst < 0:
         raise ValueError(f"channel burst {config.channel_burst} < 0")
     if config.channel_burst > 0 and config.channel_faults <= 0.0:
@@ -218,8 +232,11 @@ def make_engine(engine_name: str, target_spec, seed: int,
     config = config if config is not None else CampaignConfig()
     validate_campaign_config(engine_name, target_spec, config)
     rng = random.Random(seed)
+    # resolve once so the collector map and the virgin map always agree
+    coverage_impl = resolve_coverage_impl(config.coverage_impl)
     collector = make_line_collector(
         ("repro/protocols",),
+        coverage_map=make_coverage_map(coverage_impl),
         hang_budget=config.hang_budget,
         backend=config.coverage_backend)
     channel = None
@@ -265,32 +282,38 @@ def make_engine(engine_name: str, target_spec, seed: int,
             state_model = target_spec.make_state_model()
         concurrency = config.net.concurrency \
             if config.net is not None else 1
-        return SessionFuzzer(pit, target, rng, clock, policy=config.policy,
-                             state_model=state_model,
-                             max_trace_steps=config.max_trace_steps,
-                             concurrency=concurrency,
-                             semantic_batch=config.semantic_batch,
-                             semantic_ratio=config.semantic_ratio,
-                             pin_prob=config.pin_prob,
-                             crack_enabled=config.crack_enabled,
-                             semantic_enabled=config.semantic_enabled,
-                             oracle=oracle,
-                             steer_divergence=config.steer_divergence)
-    if engine_name == "peach":
-        return GenerationFuzzer(pit, target, rng, clock,
-                                policy=config.policy, oracle=oracle,
-                                steer_divergence=config.steer_divergence)
-    if engine_name == "peach-star":
-        return PeachStar(pit, target, rng, clock, policy=config.policy,
-                         semantic_batch=config.semantic_batch,
-                         semantic_ratio=config.semantic_ratio,
-                         pin_prob=config.pin_prob,
-                         crack_enabled=config.crack_enabled,
-                         semantic_enabled=config.semantic_enabled,
-                         oracle=oracle,
-                         steer_divergence=config.steer_divergence)
-    raise ValueError(f"unknown engine {engine_name!r}; "
-                     "choices: peach, peach-star")
+        engine = SessionFuzzer(pit, target, rng, clock,
+                               policy=config.policy,
+                               state_model=state_model,
+                               max_trace_steps=config.max_trace_steps,
+                               concurrency=concurrency,
+                               semantic_batch=config.semantic_batch,
+                               semantic_ratio=config.semantic_ratio,
+                               pin_prob=config.pin_prob,
+                               crack_enabled=config.crack_enabled,
+                               semantic_enabled=config.semantic_enabled,
+                               oracle=oracle,
+                               steer_divergence=config.steer_divergence)
+    elif engine_name == "peach":
+        engine = GenerationFuzzer(pit, target, rng, clock,
+                                  policy=config.policy, oracle=oracle,
+                                  steer_divergence=config.steer_divergence)
+    elif engine_name == "peach-star":
+        engine = PeachStar(pit, target, rng, clock, policy=config.policy,
+                           semantic_batch=config.semantic_batch,
+                           semantic_ratio=config.semantic_ratio,
+                           pin_prob=config.pin_prob,
+                           crack_enabled=config.crack_enabled,
+                           semantic_enabled=config.semantic_enabled,
+                           oracle=oracle,
+                           steer_divergence=config.steer_divergence)
+    else:
+        raise ValueError(f"unknown engine {engine_name!r}; "
+                         "choices: peach, peach-star")
+    # the virgin map matches the collector's map implementation, so
+    # merge/would_be_new take the vectorized fast path end to end
+    engine.seed_pool = SeedPool(make_global_coverage(coverage_impl))
+    return engine
 
 
 def _drive_campaign(engine_name: str, target_spec, seed: int,
@@ -352,36 +375,57 @@ def _drive_campaign_loop(engine_name: str, target_spec, seed: int,
             if workspace is not None:
                 workspace.checkpoint(engine)
             return None
-        outcome = engine.iterate()
-        executions = engine.stats.executions
-        if outcome.new_unique_crash:
-            key = outcome.result.crash.dedup_key
-            crash_times[key] = engine.clock.hours
-            if workspace is not None:
-                workspace.record_crash(outcome.result.crash,
-                                       engine.clock.hours)
+        # A batch may not run past a boundary that needs *live* engine
+        # state: checkpoints snapshot the engine, and the stop/pause
+        # kill/round semantics require it to halt exactly there.  Series
+        # recording is not such a boundary — it reads each outcome's
+        # stamped readings, so a batch may cross record buckets freely.
+        exec_bound = config.max_executions
         if workspace is not None:
-            for report in outcome.new_divergences:
-                workspace.record_divergence(report, engine.clock.hours)
-        if workspace is not None and outcome.valuable:
-            # outcome.result.coverage is the map that made the seed
-            # valuable — the collector map itself for single-packet
-            # runs, the step-accumulated trace map in session mode
-            workspace.record_seed(engine.seed_pool.seeds[-1],
-                                  outcome.result.coverage)
-        if executions // config.record_every > record_bucket:
-            record_bucket = executions // config.record_every
-            series.append((engine.clock.hours, engine.path_count))
+            exec_bound = min(exec_bound, (checkpoint_bucket + 1)
+                             * config.checkpoint_every)
+        if stop_after_executions is not None:
+            exec_bound = min(exec_bound, stop_after_executions)
+        if pause_after_executions is not None:
+            exec_bound = min(exec_bound, pause_after_executions)
+        outcomes = engine.iterate_batch(config.batch_size,
+                                        exec_bound=exec_bound,
+                                        time_bound_ms=budget_ms)
+        for outcome in outcomes:
+            # bookkeeping reads the outcome's stamped readings, not the
+            # live engine: after a batch the engine is already at the
+            # batch's end, but each outcome must be recorded as of the
+            # iteration that produced it
+            executions = outcome.executions
+            if outcome.new_unique_crash:
+                key = outcome.result.crash.dedup_key
+                crash_times[key] = outcome.hours
+                if workspace is not None:
+                    workspace.record_crash(outcome.result.crash,
+                                           outcome.hours)
             if workspace is not None:
-                workspace.record_sample(executions, engine.clock.hours,
-                                        engine.path_count)
-        if workspace is not None and \
-                executions // config.checkpoint_every > checkpoint_bucket:
-            checkpoint_bucket = executions // config.checkpoint_every
-            workspace.checkpoint(engine)
-        if stop_after_executions is not None and \
-                executions >= stop_after_executions:
-            return None
+                for report in outcome.new_divergences:
+                    workspace.record_divergence(report, outcome.hours)
+            if workspace is not None and outcome.valuable:
+                # outcome.result.coverage is the map that made the seed
+                # valuable — the collector map itself for single-packet
+                # runs, the step-accumulated trace map in session mode
+                workspace.record_seed(outcome.seed,
+                                      outcome.result.coverage)
+            if executions // config.record_every > record_bucket:
+                record_bucket = executions // config.record_every
+                series.append((outcome.hours, outcome.paths))
+                if workspace is not None:
+                    workspace.record_sample(executions, outcome.hours,
+                                            outcome.paths)
+            if workspace is not None and \
+                    executions // config.checkpoint_every \
+                    > checkpoint_bucket:
+                checkpoint_bucket = executions // config.checkpoint_every
+                workspace.checkpoint(engine)
+            if stop_after_executions is not None and \
+                    executions >= stop_after_executions:
+                return None
     series.append((engine.clock.hours, engine.path_count))
     result = CampaignResult(
         engine_name=engine_name,

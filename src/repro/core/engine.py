@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Optional, Tuple
+from dataclasses import dataclass, fields
+from typing import Deque, List, Optional, Tuple
 
 from repro.core.corpus import PuzzleCorpus
 from repro.core.cracker import FileCracker
@@ -51,6 +51,16 @@ class IterationOutcome:
     #: divergence reports newly deduplicated this iteration (empty
     #: unless a differential oracle is attached)
     new_divergences: Tuple = ()
+    #: the ValuableSeed retained this iteration (None unless valuable);
+    #: the campaign driver persists it from here instead of reaching
+    #: into the pool, which would race ahead under batched execution
+    seed: Optional[object] = None
+    #: post-iteration engine readings, captured so the campaign driver's
+    #: cadence bookkeeping sees the same values whether the outcome is
+    #: handed over immediately (unbatched) or after the batch completes
+    executions: int = 0
+    hours: float = 0.0
+    paths: int = 0
 
 
 @dataclass(slots=True)
@@ -82,22 +92,14 @@ class EngineStats:
     net_reconnects: int = 0
 
     def as_dict(self) -> dict:
-        return {
-            "executions": self.executions,
-            "valuable_seeds": self.valuable_seeds,
-            "semantic_executions": self.semantic_executions,
-            "crashes_total": self.crashes_total,
-            "hangs": self.hangs,
-            "puzzles": self.puzzles,
-            "imported_seeds": self.imported_seeds,
-            "traces": self.traces,
-            "learned_states": self.learned_states,
-            "divergences_total": self.divergences_total,
-            "channel_faults": self.channel_faults,
-            "steered_seeds": self.steered_seeds,
-            "net_timeouts": self.net_timeouts,
-            "net_reconnects": self.net_reconnects,
-        }
+        """Every stat field, derived from the dataclass definition.
+
+        A hand-maintained mirror here once let newly added stats vanish
+        silently from workspace checkpoints and fleet tables; deriving
+        from ``dataclasses.fields`` makes that impossible (pinned by the
+        round-trip test in tests/core).
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class GenerationFuzzer:
@@ -132,6 +134,9 @@ class GenerationFuzzer:
 
     engine_name = "peach"
     uses_feedback = False
+    #: whether this engine's produce/execute split supports the batched
+    #: pipeline (session engines produce whole traces and opt out)
+    supports_batching = True
 
     def __init__(self, pit: Pit, target: Target, rng: random.Random,
                  clock: Optional[SimulatedClock] = None,
@@ -148,6 +153,11 @@ class GenerationFuzzer:
         self.divergences = CrashDatabase()
         self.stats = EngineStats()
         self.seed_pool = SeedPool()  # used for *measurement* only
+        #: coverage map pool for the batched pipeline — maps whose
+        #: coverage must outlive the batch (valuable outcomes) are
+        #: retired from rotation until the driver has read them; see
+        #: :meth:`_batch_map_pool`
+        self._batch_maps: List = []
 
     # -- packet production ---------------------------------------------------
 
@@ -183,6 +193,7 @@ class GenerationFuzzer:
                 packet, model.name, tree, result.coverage,
                 self.stats.executions, self.clock.now_ms)
             if seed is not None:
+                outcome.seed = seed
                 outcome.valuable = True
                 self.stats.valuable_seeds += 1
                 self._on_valuable_seed(seed)
@@ -192,7 +203,171 @@ class GenerationFuzzer:
             self._run_oracle(outcome, [(model.name, delivered)])
             self._maybe_steer_divergence(outcome, tree)
         self._absorb_net_stats()
+        return self._finish_outcome(outcome)
+
+    def _finish_outcome(self, outcome: IterationOutcome) -> IterationOutcome:
+        """Stamp the post-iteration readings the campaign driver uses."""
+        outcome.executions = self.stats.executions
+        outcome.hours = self.clock.hours
+        outcome.paths = self.seed_pool.path_count
         return outcome
+
+    # -- batched execution -----------------------------------------------------
+
+    def _can_batch(self) -> bool:
+        """Whether the batched pipeline applies to this configuration.
+
+        Channels (per-frame fault RNG draws), oracles (steering feedback
+        mid-processing) and non-batching targets (sockets) fall back to
+        per-iteration execution — "where the backend allows it".
+        """
+        target = self.target
+        return (self.supports_batching
+                and getattr(target, "supports_batch", False)
+                and target.collector is not None
+                and target.channel is None
+                and self.oracle is None)
+
+    def _batch_map_pool(self):
+        """The retained-coverage map pool (type-matched, never shrunk).
+
+        The batch loop runs every execution into ``pool[i]`` and only
+        advances ``i`` past maps whose coverage must outlive the batch
+        (valuable outcomes — the campaign driver serializes exactly
+        those).  Everything else reuses the same map, which stays
+        cache-hot like the unbatched single-map path; the pool converges
+        to (max valuable outcomes per batch + 1) entries.
+        """
+        maps = self._batch_maps
+        template = type(self.target.collector.map)
+        if maps and type(maps[0]) is not template:
+            maps.clear()  # the collector's map impl was swapped
+        if not maps:
+            maps.append(template())
+        return maps, template
+
+    def iterate_batch(self, max_iterations: int,
+                      exec_bound: Optional[int] = None,
+                      time_bound_ms: Optional[float] = None
+                      ) -> List[IterationOutcome]:
+        """Run up to *max_iterations* iterations as one batched hot loop.
+
+        Each iteration interleaves produce → execute → process exactly
+        like :meth:`iterate` (same operation order, so the outcome
+        stream, RNG draws and clock arithmetic are bit-identical to the
+        unbatched loop by construction), but the loop body is flattened:
+        per-iteration attribute lookups and the :meth:`Target.run`
+        wrapper are hoisted, coverage whose consumer outlives the batch
+        (valuable outcomes, which the campaign driver serializes) is
+        retired into the per-engine map pool while everything else
+        reuses one cache-hot map, and the coverage verdict
+        short-circuits through ``would_be_new`` — a stale map makes
+        ``SeedPool.consider`` a provable no-op, so skipping it is
+        state-identical.
+
+        An earlier produce-N-up-front design held one collector window
+        across the batch; measured on the settrace backend the window
+        toggle costs ~0.1µs while discarding/replaying productions at
+        valuable/crash boundaries wasted ~40% of production time
+        (production dominates the iteration), so producing lazily and
+        toggling per execution is strictly faster.
+
+        *exec_bound* caps total executions (the campaign driver aligns
+        batches to its record/checkpoint cadences with it) and
+        *time_bound_ms* stops the batch exactly where the unbatched
+        driver loop would have stopped.  Configurations outside the
+        batched pipeline (sessions, channels, oracles, socket targets)
+        fall back to plain :meth:`iterate` calls honoring the bounds.
+        """
+        n = max_iterations
+        if exec_bound is not None:
+            n = min(n, exec_bound - self.stats.executions)
+        if n <= 1 or not self._can_batch():
+            # One outcome per call: on the unbatched path the result's
+            # coverage is the collector's (or trace's) live map, which
+            # the next iteration would overwrite before the caller's
+            # bookkeeping could read it.  The batched path below avoids
+            # this with the per-execution map pool.
+            return [self.iterate()]
+
+        maps, map_template = self._batch_map_pool()
+        map_index = 0
+        current_map = maps[0]
+        produce = self._produce
+        run_into = self.target.run_into
+        clock = self.clock
+        stats = self.stats
+        seed_pool = self.seed_pool
+        would_be_new = seed_pool.coverage.would_be_new
+        crashes_add = self.crashes.add
+        deadline = time_bound_ms if time_bound_ms is not None \
+            else float("inf")
+        outcomes: List[IterationOutcome] = []
+        # Hot counters the loop owns exclusively live in locals; the
+        # same int operations happen in the same order as the
+        # attribute-based unbatched loop, so every stamped reading is
+        # bit-identical.  The clock stays attribute-based — ``produce``
+        # charges semantic-generation/fixup costs into it every
+        # iteration — but the execution charge is inlined (two separate
+        # adds, exactly like ``SimulatedClock.charge_execution``: float
+        # addition is not associative and the clock must stay
+        # bit-identical).
+        costs = clock.costs
+        exec_cost = costs.exec_cost_ms
+        coverage_cost = costs.coverage_overhead_ms \
+            if self.uses_feedback else None
+        executions = stats.executions
+        semantic_executions = 0
+        paths = seed_pool.path_count
+        # _absorb_net_stats is skipped per iteration: _can_batch already
+        # guarantees no channel (the fault counter's only source) and an
+        # in-process Target (which has no net counters to take)
+        for _ in range(n):
+            tree, packet, model, semantic = produce()
+            result = run_into(packet, model.name, current_map)
+            clock.now_ms += exec_cost
+            if coverage_cost is not None:
+                clock.now_ms += coverage_cost
+            executions += 1
+            if semantic:
+                semantic_executions += 1
+            outcome = IterationOutcome(
+                packet=packet, model_name=model.name, result=result,
+                semantic=semantic)
+            crash = result.crash
+            if crash is None and not result.hang:
+                if would_be_new(result.coverage):
+                    stats.executions = executions
+                    seed = seed_pool.consider(
+                        packet, model.name, tree, result.coverage,
+                        executions, clock.now_ms)
+                    outcome.seed = seed
+                    outcome.valuable = True
+                    stats.valuable_seeds += 1
+                    self._on_valuable_seed(seed)
+                    paths = seed_pool.path_count
+                    # the driver serializes this outcome's coverage after
+                    # the batch: retire its map and record the remaining
+                    # iterations into a fresh one
+                    map_index += 1
+                    if map_index == len(maps):
+                        maps.append(map_template())
+                    current_map = maps[map_index]
+            elif crash is not None:
+                stats.crashes_total += 1
+                outcome.new_unique_crash = crashes_add(
+                    crash, clock.now_ms / 3_600_000.0)
+            else:
+                stats.hangs += 1
+            outcome.executions = executions
+            outcome.hours = clock.now_ms / 3_600_000.0
+            outcome.paths = paths
+            outcomes.append(outcome)
+            if clock.now_ms >= deadline:
+                break
+        stats.executions = executions
+        stats.semantic_executions += semantic_executions
+        return outcomes
 
     def _on_valuable_seed(self, seed) -> None:
         """Hook for feedback-driven engines; baseline does nothing."""
@@ -215,13 +390,25 @@ class GenerationFuzzer:
         seed = self.seed_pool.force_add(
             outcome.packet, outcome.model_name, tree, result.coverage,
             self.stats.executions, self.clock.now_ms)
+        outcome.seed = seed
         outcome.valuable = True
         self.stats.valuable_seeds += 1
         self.stats.steered_seeds += 1
         self._on_valuable_seed(seed)
 
     def _absorb_net_stats(self) -> None:
-        """Fold a socket target's wall-clock event deltas into stats."""
+        """Sync transport-layer counters into stats (every iteration).
+
+        The channel-fault counter used to sync only inside
+        ``_run_oracle``, so a ``--channel-faults`` campaign with the
+        differential oracle explicitly disabled reported 0 injected
+        faults forever; syncing here runs on every iteration whenever a
+        faulting channel is attached, oracle or not.
+        """
+        channel = getattr(self.target, "channel", None)
+        if channel is not None:
+            self.stats.channel_faults = getattr(
+                channel, "faults_injected", 0)
         take = getattr(self.target, "take_net_counters", None)
         if take is None:
             return
@@ -235,12 +422,9 @@ class GenerationFuzzer:
         *frames_per_step* is ``[(model_name, [frame, ...]), ...]`` — the
         post-channel frames actually handed to the server, labelled with
         the step's model so the strict/lenient differential knows which
-        grammar to consult.
+        grammar to consult.  (The channel-fault counter sync lives in
+        ``_absorb_net_stats`` so it also runs with the oracle disabled.)
         """
-        channel = getattr(self.target, "channel", None)
-        if channel is not None:
-            self.stats.channel_faults = getattr(
-                channel, "faults_injected", 0)
         new = []
         for model_name, frames in frames_per_step:
             for frame in frames:

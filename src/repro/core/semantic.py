@@ -92,6 +92,11 @@ class SemanticGenerator:
         #: benchmark measures both settings.
         self.pin_prob = pin_prob
         self.seeds_generated = 0
+        #: (id(model), id(field)) -> dotted leaf path.  Safe to key on
+        #: ids: ``DataModel.linear()`` memoizes its Field tuple, so the
+        #: objects handed to ``_leaf_path`` stay alive (and identical)
+        #: for the model's lifetime.  Purely derived — never persisted.
+        self._path_cache: Dict[Tuple[int, int], str] = {}
 
     # ------------------------------------------------------------------
 
@@ -119,12 +124,20 @@ class SemanticGenerator:
                               tuple(chosen)))
         return positions
 
-    @staticmethod
-    def _leaf_path(model: DataModel, target: Field) -> str:
-        """Dotted path of a linear-model leaf within the default shape."""
-        path = _find_path(model.root, target, "")
-        if path is None:  # pragma: no cover - linear() guarantees presence
-            raise ValueError(f"{target.name} not in {model.name}")
+    def _leaf_path(self, model: DataModel, target: Field) -> str:
+        """Dotted path of a linear-model leaf within the default shape.
+
+        Memoized: the recursive walk re-derives the same constant path
+        for every donor-bearing position of every construct call, which
+        showed up in the batched-pipeline profiles.
+        """
+        key = (id(model), id(target))
+        path = self._path_cache.get(key)
+        if path is None:
+            path = _find_path(model.root, target, "")
+            if path is None:  # pragma: no cover - linear() guarantees it
+                raise ValueError(f"{target.name} not in {model.name}")
+            self._path_cache[key] = path
         return path
 
     # ------------------------------------------------------------------

@@ -125,6 +125,27 @@ class DataModel:
         self.transformer = transformer
         self.weight = weight
         self._linear_cache: Optional[Tuple[Field, ...]] = None
+        # Whether any rule carries a relation / fixup.  Static per model;
+        # build() skips the re-assemble passes a feature-free tree never
+        # needs (the result is identical — _assemble is idempotent).
+        self._has_relations, self._has_fixups = self._scan_features(root)
+
+    @staticmethod
+    def _scan_features(root: Field) -> Tuple[bool, bool]:
+        has_relations = False
+        has_fixups = False
+        stack = [root]
+        while stack:
+            field = stack.pop()
+            if field.relation is not None:
+                has_relations = True
+            if field.fixup is not None:
+                has_fixups = True
+            if isinstance(field, Repeat):
+                stack.append(field.element)
+            elif not field.is_leaf:
+                stack.extend(field.children())
+        return has_relations, has_fixups
 
     # ------------------------------------------------------------------
     # linear model (paper's M_L)
@@ -166,11 +187,13 @@ class DataModel:
         repair pipeline the File Fixup module reuses for spliced packets.
         """
         root_node = self._build_node(self.root, provider, "")
-        self._assemble(root_node, 0)
-        self._resolve_relations(root_node)
-        self._assemble(root_node, 0)
-        self._resolve_fixups(root_node)
-        self._assemble(root_node, 0)
+        self._assemble(root_node, 0, encode_leaves=False)
+        if self._has_relations:
+            self._resolve_relations(root_node)
+            self._assemble(root_node, 0, encode_leaves=False)
+        if self._has_fixups:
+            self._resolve_fixups(root_node)
+            self._assemble(root_node, 0, encode_leaves=False)
         return InsTree(self.name, root_node)
 
     def build_default(self) -> InsTree:
@@ -203,19 +226,30 @@ class DataModel:
                     for child in field.children()]
         return InsNode(field, children=children)
 
-    def _assemble(self, node: InsNode, offset: int) -> int:
-        """Recompute raw/offset bottom-up; return bytes consumed."""
+    def _assemble(self, node: InsNode, offset: int,
+                  encode_leaves: bool = True) -> int:
+        """Recompute raw/offset bottom-up; return bytes consumed.
+
+        ``encode_leaves=False`` trusts each leaf's existing ``raw``
+        instead of re-encoding its value — valid inside :meth:`build`,
+        where every mutation site (instantiation, relations, fixups)
+        maintains ``raw == field.encode(value)``.  :meth:`parse` keeps
+        the re-encode: it is what normalizes leniently-decoded
+        (truncated) leaves back to canonical width.
+        """
         node.offset = offset
-        if node.is_leaf and not node.children:
-            if isinstance(node.field, (Block, Choice, Repeat)):
-                node.raw = b""  # empty internal node (Repeat count 0)
-                return 0
-            node.raw = node.field.encode(node.value)
+        children = node.children
+        if not children:
+            if encode_leaves:
+                if isinstance(node.field, (Block, Choice, Repeat)):
+                    node.raw = b""  # empty internal node (Repeat count 0)
+                    return 0
+                node.raw = node.field.encode(node.value)
             return len(node.raw)
         pos = offset
         parts = []
-        for child in node.children:
-            pos += self._assemble(child, pos)
+        for child in children:
+            pos += self._assemble(child, pos, encode_leaves)
             parts.append(child.raw)
         node.raw = b"".join(parts)
         return len(node.raw)

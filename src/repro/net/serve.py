@@ -101,7 +101,7 @@ class ServeApp:
         except MemoryFault as fault:
             report = report_from_fault(
                 fault, frame,
-                call_sites=capture_crash_context(self.collector))
+                call_sites=capture_crash_context(self.collector, fault))
             payload = json.dumps({
                 "kind": report.kind,
                 "site": report.site,

@@ -41,11 +41,19 @@ class CostModel:
 
 
 class SimulatedClock:
-    """Virtual clock advanced by charged operation costs."""
+    """Virtual clock advanced by charged operation costs.
+
+    The batched execution pipeline interleaves production and execution
+    exactly like the unbatched loop, so every charge is a plain ``+=``
+    in program order — float accumulation is bit-identical across batch
+    sizes with no bookkeeping.
+    """
 
     def __init__(self, cost_model: CostModel | None = None):
         self.costs = cost_model if cost_model is not None else CostModel()
         self.now_ms = 0.0
+
+    # -- charges -------------------------------------------------------
 
     def charge_execution(self, instrumented: bool) -> None:
         """Charge one target execution (plus feedback overhead if any)."""

@@ -21,11 +21,34 @@ sparse-virgin-map trick adapted to CPython: the dense array stays (so
 index arithmetic is one bytearray access), but nothing ever scans it.
 All mutation must go through :meth:`CoverageMap.visit`; writing
 ``counts`` directly desynchronizes the journal.
+
+Two implementations share that model:
+
+* the **sparse** reference — pure-Python journal walks, the pinned
+  behavioural baseline;
+* the **vector** backend — :class:`VectorCoverageMap`/
+  :class:`VectorGlobalCoverage` keep the same bytearrays (so the visit
+  hot path and the workspace's virgin-map replay are untouched) but run
+  ``merge``/``would_be_new``/``absorb``/``fast_reset`` as numpy
+  fancy-index operations over zero-copy ``frombuffer`` views.
+
+:func:`resolve_coverage_impl` picks between them (``REPRO_COVERAGE_IMPL=
+sparse|vector|auto``); the parity suite in
+``tests/runtime/test_vector_parity.py`` pins them bit-for-bit equal.
+Both memoize the sorted journal (keyed by a generation counter plus the
+journal length — within one generation the journal only grows) so
+``path_hash`` and ``iter_hits`` never re-sort what they already sorted.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, List, Tuple
+
+try:  # the vector backend is optional; "auto" falls back to sparse
+    import numpy as _np
+except ImportError:  # pragma: no cover - container always ships numpy
+    _np = None
 
 MAP_SIZE_POW2 = 16
 MAP_SIZE = 1 << MAP_SIZE_POW2
@@ -33,6 +56,13 @@ _MAP_MASK = MAP_SIZE - 1
 
 #: journals longer than this zero faster via the template slice-assign
 _SPARSE_RESET_LIMIT = MAP_SIZE // 16
+
+#: below this journal length the pure-Python walks beat numpy — the
+#: ``np.array(journal)`` build dominates fancy-indexing's win (measured
+#: crossover ~130 on CPython 3.11 / numpy 2.4); the vector classes
+#: degrade to the inherited reference loops there, which is why they
+#: stay bit-identical by construction
+_VECTOR_MIN_JOURNAL = 128
 
 def bucket_count(count: int) -> int:
     """Map a raw edge hit count onto its AFL bucket bit.
@@ -63,25 +93,36 @@ def bucket_count(count: int) -> int:
 #: the eight-way Python branch chain on every merged edge.
 BUCKET_LUT = bytes(bucket_count(count) for count in range(256))
 
+_BUCKET_LUT_NP = _np.frombuffer(BUCKET_LUT, dtype=_np.uint8) \
+    if _np is not None else None
+
 _ZERO_TEMPLATE = bytes(MAP_SIZE)
 
 
 class CoverageMap:
     """Per-execution edge hit map (``shared_mem`` analog)."""
 
-    __slots__ = ("counts", "journal", "_prev")
+    __slots__ = ("counts", "journal", "_prev", "_gen", "_sorted",
+                 "_sorted_key")
 
     def __init__(self):
         self.counts = bytearray(MAP_SIZE)
         #: indices touched this execution, in first-touch order (no dups)
         self.journal: List[int] = []
         self._prev = 0
+        #: bumped on every reset; within one generation the journal only
+        #: grows, so (generation, len(journal)) keys the sorted-journal
+        #: memo — count bumps on known edges never invalidate it
+        self._gen = 0
+        self._sorted: List[int] = []
+        self._sorted_key = (0, 0)
 
     def reset(self) -> None:
         """Clear the map for the next execution (full-map slice assign)."""
         self.counts[:] = _ZERO_TEMPLATE
         self.journal.clear()
         self._prev = 0
+        self._gen += 1
 
     def fast_reset(self) -> None:
         """Clear only what the journal says was touched.
@@ -98,6 +139,20 @@ class CoverageMap:
                 counts[index] = 0
         journal.clear()
         self._prev = 0
+        self._gen += 1
+
+    def _sorted_journal(self) -> List[int]:
+        """The journal in ascending index order, sorted at most once.
+
+        Valid until the journal grows (a new first-touch) or resets;
+        ``path_hash`` + ``iter_hits`` on the same execution share one
+        sort.
+        """
+        key = (self._gen, len(self.journal))
+        if self._sorted_key != key:
+            self._sorted = sorted(self.journal)
+            self._sorted_key = key
+        return self._sorted
 
     def visit(self, cur_location: int) -> None:
         """Record the transition into basic block *cur_location*.
@@ -139,7 +194,7 @@ class CoverageMap:
         Ascending index order, matching a dense left-to-right map scan.
         """
         counts = self.counts
-        for index in sorted(self.journal):
+        for index in self._sorted_journal():
             yield index, counts[index]
 
     def edge_count(self) -> int:
@@ -151,7 +206,7 @@ class CoverageMap:
         acc = 0xCBF29CE484222325
         counts = self.counts
         lut = BUCKET_LUT
-        for index in sorted(self.journal):
+        for index in self._sorted_journal():
             acc ^= (index << 8) | lut[counts[index]]
             acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
         return acc
@@ -224,3 +279,183 @@ class GlobalCoverage:
     def edge_coverage(self) -> int:
         """Total distinct edges observed so far."""
         return self.edges_seen
+
+
+class VectorCoverageMap(CoverageMap):
+    """Numpy-vectorized execution map; bit-for-bit equal to the sparse one.
+
+    ``counts`` stays the inherited bytearray — ``visit`` (the per-line
+    hot path) and everything that persists raw bytes are untouched — but
+    a writable zero-copy ``frombuffer`` view powers the batch
+    operations.  The journal likewise stays a Python list (``append`` in
+    ``visit`` beats ``array``/ndarray growth by 3x); it is converted to
+    an index vector at most once per (generation, length) and the
+    conversion is shared by ``merge``/``would_be_new``/``fast_reset``/
+    ``path_hash`` on the same execution.  Journals shorter than
+    ``_VECTOR_MIN_JOURNAL`` take the inherited pure-Python walks, which
+    beat the ``np.array`` build below the measured crossover — the
+    kernels are hybrid, the *results* identical either way.
+    """
+
+    __slots__ = ("_counts_np", "_idx", "_idx_key")
+
+    def __init__(self):
+        if _np is None:  # pragma: no cover - factory gates on numpy
+            raise RuntimeError(
+                "the vector coverage impl needs numpy; use the sparse "
+                "impl (REPRO_COVERAGE_IMPL=sparse)")
+        super().__init__()
+        self._counts_np = _np.frombuffer(self.counts, dtype=_np.uint8)
+        self._idx = _np.empty(0, dtype=_np.int64)
+        self._idx_key = (0, 0)
+
+    def _indices(self):
+        """The journal as an int64 index vector (memoized like the sort)."""
+        key = (self._gen, len(self.journal))
+        if self._idx_key != key:
+            self._idx = _np.array(self.journal, dtype=_np.int64)
+            self._idx_key = key
+        return self._idx
+
+    def fast_reset(self) -> None:
+        journal = self.journal
+        if journal:
+            if len(journal) > _SPARSE_RESET_LIMIT:
+                self.counts[:] = _ZERO_TEMPLATE
+            elif len(journal) < _VECTOR_MIN_JOURNAL:
+                counts = self.counts
+                for index in journal:
+                    counts[index] = 0
+            else:
+                self._counts_np[self._indices()] = 0
+            journal.clear()
+        self._prev = 0
+        self._gen += 1
+
+    def absorb(self, other: "CoverageMap") -> None:
+        if not other.journal:
+            return
+        if not isinstance(other, VectorCoverageMap) \
+                or len(other.journal) < _VECTOR_MIN_JOURNAL:
+            super().absorb(other)
+            return
+        idx = other._indices()
+        counts = self._counts_np
+        current = counts[idx].astype(_np.uint16)
+        fresh = current == 0
+        if fresh.any():
+            # journal append order = other's first-touch order, exactly
+            # like the reference loop
+            self.journal.extend(idx[fresh].tolist())
+        summed = current + other._counts_np[idx]
+        counts[idx] = _np.minimum(summed, 255).astype(_np.uint8)
+
+    def path_hash(self) -> int:
+        journal = self.journal
+        if not journal:
+            return 0xCBF29CE484222325
+        if len(journal) < _VECTOR_MIN_JOURNAL:
+            return super().path_hash()
+        idx = _np.sort(self._indices())
+        terms = ((idx << 8) |
+                 _BUCKET_LUT_NP[self._counts_np[idx]]).tolist()
+        acc = 0xCBF29CE484222325
+        for term in terms:
+            acc = ((acc ^ term) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return acc
+
+
+class VectorGlobalCoverage(GlobalCoverage):
+    """Vectorized virgin map: same bytearray, numpy merge/decide path.
+
+    ``virgin`` stays the inherited bytearray so the workspace's
+    journal-replay restore (``virgin[index] |= bucket``) and the fleet's
+    ``merge_bucketed`` import path work unchanged; the view shares its
+    memory.  Sparse/dense execution maps degrade to the reference loop.
+    """
+
+    __slots__ = ("_virgin_np",)
+
+    def __init__(self):
+        if _np is None:  # pragma: no cover - factory gates on numpy
+            raise RuntimeError(
+                "the vector coverage impl needs numpy; use the sparse "
+                "impl (REPRO_COVERAGE_IMPL=sparse)")
+        super().__init__()
+        self._virgin_np = _np.frombuffer(self.virgin, dtype=_np.uint8)
+
+    def merge(self, execution_map: CoverageMap) -> bool:
+        if not isinstance(execution_map, VectorCoverageMap) \
+                or len(execution_map.journal) < _VECTOR_MIN_JOURNAL:
+            return super().merge(execution_map)
+        if not execution_map.journal:
+            return False
+        idx = execution_map._indices()
+        virgin = self._virgin_np
+        seen = virgin[idx]
+        bit = _BUCKET_LUT_NP[execution_map._counts_np[idx]]
+        if not ((seen & bit) == 0).any():
+            return False
+        # a journal entry has count >= 1, so its bucket bit is nonzero and
+        # seen == 0 implies seen & bit == 0: counting zero bytes matches
+        # the reference loop's new-edge accounting exactly
+        self.edges_seen += int(_np.count_nonzero(seen == 0))
+        virgin[idx] = seen | bit
+        return True
+
+    def would_be_new(self, execution_map: CoverageMap) -> bool:
+        if not isinstance(execution_map, VectorCoverageMap) \
+                or len(execution_map.journal) < _VECTOR_MIN_JOURNAL:
+            return super().would_be_new(execution_map)
+        if not execution_map.journal:
+            return False
+        idx = execution_map._indices()
+        bit = _BUCKET_LUT_NP[execution_map._counts_np[idx]]
+        return bool(((self._virgin_np[idx] & bit) == 0).any())
+
+
+# -- implementation selection -------------------------------------------------
+
+def numpy_available() -> bool:
+    """True when the vector coverage implementation can run."""
+    return _np is not None
+
+
+def resolve_coverage_impl(impl: str = "auto") -> str:
+    """Resolve an implementation request to ``"vector"`` or ``"sparse"``.
+
+    ``"auto"`` consults ``REPRO_COVERAGE_IMPL`` and then prefers the
+    vectorized backend when numpy is importable, falling back to the
+    sparse reference otherwise; an explicit ``"vector"`` request without
+    numpy raises so misconfiguration is loud.  (Same contract as
+    :func:`repro.runtime.instrument.resolve_backend` for the collector
+    choice — the two axes compose freely.)
+    """
+    choice = impl or "auto"
+    if choice == "auto":
+        choice = os.environ.get("REPRO_COVERAGE_IMPL", "auto") or "auto"
+    if choice == "auto":
+        return "vector" if _np is not None else "sparse"
+    if choice not in ("vector", "sparse"):
+        raise ValueError(
+            f"unknown coverage impl {choice!r}; "
+            "choices: auto, vector, sparse")
+    if choice == "vector" and _np is None:
+        raise RuntimeError(
+            "REPRO_COVERAGE_IMPL=vector requested but numpy is not "
+            "importable; install numpy or use the sparse impl")
+    return choice
+
+
+def make_coverage_map(impl: str = "auto") -> CoverageMap:
+    """Build an execution map of the resolved implementation."""
+    if resolve_coverage_impl(impl) == "vector":
+        return VectorCoverageMap()
+    return CoverageMap()
+
+
+def make_global_coverage(impl: str = "auto") -> GlobalCoverage:
+    """Build a virgin map of the resolved implementation."""
+    if resolve_coverage_impl(impl) == "vector":
+        return VectorGlobalCoverage()
+    return GlobalCoverage()

@@ -21,11 +21,22 @@ three collectors are provided:
 (``sys.monitoring`` when the interpreter has it, else ``sys.settrace``);
 ``REPRO_COVERAGE_BACKEND=settrace|monitoring`` forces a choice.
 
-The module also provides :func:`capture_crash_context`: the tail of the
-per-execution touched-edge journal at fault time, used by the triage
-subsystem to bucket crashes by the call-site sequence that led to the
-fault (a cheap stand-in for an ASan stack hash — zero cost on the hot
-path because the journal already exists).
+The module also provides :func:`capture_crash_context`: the in-scope
+call-site sequence at fault time, used by the triage subsystem to
+bucket crashes (a cheap stand-in for an ASan stack hash).  For line
+collectors it is derived from the fault's traceback — the actual stack
+at the raise, so a crash inside already-visited code gets *its own*
+context, not the stale first-touch journal tail — at zero cost on the
+hot path; collectors without a scope filter fall back to the journal
+tail.
+
+Collectors separate the per-execution map reset
+(:meth:`Collector.begin_execution`) from arming the instrumentation
+(:meth:`Collector.open_window`/:meth:`Collector.close_window`), so a
+harness can rebind ``Collector.map`` (the batched pipeline rotates a
+map pool through one collector) or re-arm without paying the other
+half.  ``begin()``/``end()`` compose both, preserving the one-execution
+context-manager contract.
 
 Both line collectors key their block-id cache by *code object* and then
 by line number, so the hot callback does two dict probes on interned
@@ -92,19 +103,37 @@ CRASH_CONTEXT_DEPTH = 16
 
 
 def capture_crash_context(collector: Optional["Collector"],
+                          fault: Optional[BaseException] = None,
                           depth: int = CRASH_CONTEXT_DEPTH
                           ) -> Tuple[int, ...]:
     """The call-site sequence that led into the current fault.
 
-    Returns the last *depth* entries of the execution map's touched-edge
-    journal — the edges first reached immediately before the crash, in
-    reach order.  Valid only between the faulting execution and the next
-    ``begin()``; the campaign captures it while handling the fault.
-    Collectors without a journal (the dense reference map, explicit
-    ``None``) yield an empty context.
+    With *fault* and a scoped line collector, walks the exception's
+    traceback and returns the block ids (the same stable
+    ``filename:lineno`` hashes the collectors record) of the in-scope
+    frames, outermost first — the actual call path into the fault.  The
+    old journal-tail heuristic returned the edges *first reached* before
+    the crash, so a crash inside already-visited code inherited a stale
+    context from much earlier in the execution and bucketed wrongly.
+
+    Without a traceback (hangs, explicit collectors, the dense reference
+    map) the journal tail remains the fallback.  Valid only between the
+    faulting execution and the next ``begin()``; the harness captures it
+    while handling the fault.
     """
     if collector is None:
         return ()
+    matches = getattr(collector, "_file_matches", None)
+    if fault is not None and matches is not None:
+        sites = []
+        tb = fault.__traceback__
+        while tb is not None:
+            filename = tb.tb_frame.f_code.co_filename
+            if matches(filename):
+                sites.append(fnv1a32(f"{filename}:{tb.tb_lineno}"))
+            tb = tb.tb_next
+        if sites:
+            return tuple(sites[-depth:])
     journal = getattr(collector.map, "journal", None)
     if not journal:
         return ()
@@ -112,7 +141,14 @@ def capture_crash_context(collector: Optional["Collector"],
 
 
 class Collector:
-    """Common interface: a context manager scoped to one execution."""
+    """Common interface: a context manager scoped to one execution.
+
+    ``begin()``/``end()`` bracket one execution.  They decompose into
+    :meth:`begin_execution` (reset the map/counters for the next run)
+    and :meth:`open_window`/:meth:`close_window` (arm/disarm the
+    instrumentation mechanism), so a harness can drive either half
+    independently (map swaps, window-only toggles).
+    """
 
     #: which instrumentation mechanism feeds the map (for stats/reports)
     backend_name = "none"
@@ -123,12 +159,23 @@ class Collector:
         self.hang_budget = hang_budget
         self.blocks_executed = 0
 
-    def begin(self) -> None:
+    def begin_execution(self) -> None:
+        """Reset per-execution state; the window state is untouched."""
         self.map.fast_reset()
         self.blocks_executed = 0
 
+    def open_window(self) -> None:
+        """Arm the instrumentation mechanism (no-op by default)."""
+
+    def close_window(self) -> None:
+        """Disarm the instrumentation mechanism (no-op by default)."""
+
+    def begin(self) -> None:
+        self.begin_execution()
+        self.open_window()
+
     def end(self) -> None:
-        pass
+        self.close_window()
 
     def __enter__(self):
         self.begin()
@@ -189,10 +236,11 @@ class _LineCollector(Collector):
     # scheme is pinned cross-backend by fnv1a32(f"{filename}:{lineno}")
     # and the backend-equivalence test in tests/runtime/test_backends.py.
 
-    def begin(self) -> None:
-        super().begin()
+    def begin_execution(self) -> None:
+        super().begin_execution()
         # rebind in case the map object was swapped between executions
-        # (the equivalence tests inject the dense reference this way)
+        # (the equivalence tests inject the dense reference this way,
+        # and the batched pipeline rotates through its map pool)
         self._visit = self.map.visit
 
 
@@ -215,12 +263,11 @@ class TracingCollector(_LineCollector):
         super().__init__(module_prefixes, coverage_map, hang_budget)
         self._saved_trace = None
 
-    def begin(self) -> None:
-        super().begin()
+    def open_window(self) -> None:
         self._saved_trace = sys.gettrace()
         sys.settrace(self._global_trace)
 
-    def end(self) -> None:
+    def close_window(self) -> None:
         sys.settrace(self._saved_trace)
         self._saved_trace = None
 
@@ -304,8 +351,7 @@ class MonitoringCollector(_LineCollector):
                          else _MONITORING.COVERAGE_ID)
         self._active = False
 
-    def begin(self) -> None:
-        super().begin()
+    def open_window(self) -> None:
         mon = _MONITORING
         cls = MonitoringCollector
         if self._tool_id not in cls._armed_tools:
@@ -328,7 +374,7 @@ class MonitoringCollector(_LineCollector):
         mon.set_events(self._tool_id, mon.events.LINE)
         self._active = True
 
-    def end(self) -> None:
+    def close_window(self) -> None:
         if not self._active:
             return
         # keep the tool id + callback registered; just stop delivery so

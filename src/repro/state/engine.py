@@ -74,6 +74,11 @@ class SessionFuzzer(PeachStar):
 
     engine_name = "peach-star"
     uses_feedback = True
+    #: traces are produced and executed whole (run_trace resets the
+    #: server once per trace and shares a heap across steps), so the
+    #: single-packet batched pipeline does not apply — iterate_batch
+    #: falls back to per-trace iterate calls
+    supports_batching = False
 
     #: cumulative mutation-op thresholds on one uniform roll:
     #: crack-and-mutate one step / splice / extend / truncate
@@ -150,6 +155,7 @@ class SessionFuzzer(PeachStar):
                 encoded, self.session_model_name, None, result.coverage,
                 self.stats.executions, self.clock.now_ms)
             if seed is not None:
+                outcome.seed = seed
                 outcome.valuable = True
                 self.stats.valuable_seeds += 1
                 self._crack_steps(steps)
@@ -163,7 +169,7 @@ class SessionFuzzer(PeachStar):
                 for index, frames in enumerate(per_step)])
             self._maybe_steer_divergence(outcome, None)
         self._absorb_net_stats()
-        return outcome
+        return self._finish_outcome(outcome)
 
     # -- cracking --------------------------------------------------------
 

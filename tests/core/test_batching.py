@@ -1,0 +1,270 @@
+"""Batched execution hot path: bit-identity and fallback contracts.
+
+ISSUE (PR 10) tentpole: ``GenerationFuzzer.iterate_batch`` + the
+campaign driver's batched loop must be a pure performance change — the
+outcome stream, RNG trajectory, simulated clock, series, stats, crash
+ledger and kill/resume behaviour are bit-for-bit identical to the
+one-iteration-at-a-time loop, for every batch size, on both coverage
+implementations, and every configuration outside the batched pipeline
+(sessions, channels, oracles, baseline engines) falls back without
+changing a single observable.
+
+The stat/triage satellites ride along: ``EngineStats.as_dict`` is
+derived from the dataclass fields, the ``channel_faults`` counter is
+synced even with the differential oracle forced off, and the cracker's
+parse cache counts its hits.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.campaign import (
+    CampaignConfig, make_engine, resume_campaign, run_campaign,
+)
+from repro.core.engine import EngineStats
+from repro.protocols import get_target
+from repro.runtime.coverage import numpy_available
+
+BATCH_SIZES = (1, 2, 5, 16, 64)
+COVERAGE_IMPLS = ("sparse",) + (
+    ("vector",) if numpy_available() else ())
+
+
+def _config(**overrides):
+    base = dict(budget_hours=24.0, max_executions=400, record_every=10,
+                coverage_impl="sparse")
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def _signature(result):
+    return (
+        result.series,
+        result.final_paths,
+        result.final_edges,
+        result.executions,
+        sorted(report.dedup_key for report in result.unique_crashes),
+        result.crash_times,
+        result.stats,
+        tuple(sorted(result.path_hashes)),
+    )
+
+
+class TestBatchSizeInvariance:
+    """Any batch size produces the exact same campaign."""
+
+    @pytest.mark.parametrize("impl", COVERAGE_IMPLS)
+    @pytest.mark.parametrize("target_name", ("libmodbus", "iec104"))
+    def test_campaigns_identical_across_batch_sizes(self, target_name,
+                                                    impl):
+        spec = get_target(target_name)
+        reference = None
+        for batch_size in BATCH_SIZES:
+            result = run_campaign(
+                "peach-star", spec, seed=7,
+                config=_config(batch_size=batch_size, coverage_impl=impl))
+            signature = _signature(result)
+            if reference is None:
+                reference = signature
+            else:
+                assert signature == reference, (batch_size, impl)
+
+    def test_baseline_engine_identical_across_batch_sizes(self):
+        spec = get_target("lib60870")
+        one = run_campaign("peach", spec, seed=3,
+                           config=_config(batch_size=1))
+        sixteen = run_campaign("peach", spec, seed=3,
+                               config=_config(batch_size=16))
+        assert _signature(sixteen) == _signature(one)
+
+    def test_time_budget_stops_batches_exactly(self):
+        """No max_executions cap: the simulated clock alone ends the
+        campaign, and a batch must stop at the same execution the
+        unbatched loop does."""
+        spec = get_target("libmodbus")
+        one = run_campaign(
+            "peach-star", spec, seed=9,
+            config=_config(max_executions=10**9, budget_hours=6.0,
+                           batch_size=1))
+        sixteen = run_campaign(
+            "peach-star", spec, seed=9,
+            config=_config(max_executions=10**9, budget_hours=6.0,
+                           batch_size=16))
+        assert _signature(sixteen) == _signature(one)
+
+
+class TestIterateBatchContract:
+    """Engine-level semantics of the batched entry point."""
+
+    def test_exec_bound_caps_the_batch(self):
+        spec = get_target("libmodbus")
+        engine = make_engine("peach-star", spec, 1, _config())
+        outcomes = engine.iterate_batch(16, exec_bound=5)
+        assert len(outcomes) == 5
+        assert engine.stats.executions == 5
+        assert [o.executions for o in outcomes] == [1, 2, 3, 4, 5]
+
+    def test_outcome_stamps_are_per_iteration(self):
+        """Stamped readings reflect each iteration, not the batch end."""
+        spec = get_target("libmodbus")
+        engine = make_engine("peach-star", spec, 1, _config())
+        outcomes = engine.iterate_batch(32)
+        assert [o.executions for o in outcomes] == \
+            list(range(1, len(outcomes) + 1))
+        hours = [o.hours for o in outcomes]
+        assert hours == sorted(hours)
+        assert hours[0] < hours[-1]
+        paths = [o.paths for o in outcomes]
+        assert paths == sorted(paths)  # paths only ever grow
+
+    def test_batched_equals_sequential_iterates(self):
+        spec = get_target("libmodbus")
+        batched = make_engine("peach-star", spec, 4, _config())
+        unbatched = make_engine("peach-star", spec, 4, _config())
+        outcomes = batched.iterate_batch(40)
+        singles = [unbatched.iterate() for _ in range(len(outcomes))]
+        assert [o.executions for o in outcomes] == \
+            [o.executions for o in singles]
+        assert [o.hours for o in outcomes] == [o.hours for o in singles]
+        assert [o.paths for o in outcomes] == [o.paths for o in singles]
+        assert [o.valuable for o in outcomes] == \
+            [o.valuable for o in singles]
+        assert [o.packet for o in outcomes] == [o.packet for o in singles]
+        assert batched.clock.now_ms == unbatched.clock.now_ms
+        assert batched.stats.as_dict() == unbatched.stats.as_dict()
+
+    def test_fallback_returns_one_outcome_per_call(self):
+        """Outside the batched pipeline the result's coverage is the
+        collector's live map — handing out more than one outcome per
+        call would let later iterations overwrite earlier coverage
+        before the driver reads it."""
+        spec = get_target("iec104")
+        sessions = make_engine("peach-star", spec, 2,
+                               _config(sessions=True))
+        assert not sessions._can_batch()
+        assert len(sessions.iterate_batch(16)) == 1
+        faulted = make_engine("peach-star", spec, 2,
+                              _config(channel_faults=0.25))
+        assert not faulted._can_batch()
+        assert len(faulted.iterate_batch(16)) == 1
+
+    def test_valuable_outcomes_get_retired_maps(self):
+        """The driver serializes valuable outcomes' coverage after the
+        batch: each must keep a private map, distinct from the shared
+        non-valuable map and from every other valuable outcome's."""
+        spec = get_target("libmodbus")
+        engine = make_engine("peach-star", spec, 1, _config())
+        valuable_maps = []
+        for _ in range(6):
+            for outcome in engine.iterate_batch(64):
+                if outcome.valuable:
+                    valuable_maps.append(outcome.result.coverage)
+                    assert outcome.result.coverage.edge_count() > 0
+        assert len(valuable_maps) >= 2
+        batch_maps = engine._batch_maps
+        # every retired map is pool-owned and no two valuable outcomes
+        # of one batch shared one (pool ids are unique)
+        assert len(set(map(id, batch_maps))) == len(batch_maps)
+
+
+class TestBatchedFallbackIdentity:
+    """Modes outside the batched pipeline are untouched by batch_size."""
+
+    def test_session_campaign_identical(self):
+        spec = get_target("iec104")
+        one = run_campaign("peach-star", spec, seed=5,
+                           config=_config(sessions=True, batch_size=1))
+        sixteen = run_campaign("peach-star", spec, seed=5,
+                               config=_config(sessions=True,
+                                              batch_size=16))
+        assert _signature(sixteen) == _signature(one)
+
+    def test_faulted_channel_campaign_identical(self):
+        spec = get_target("libmodbus")
+        one = run_campaign(
+            "peach-star", spec, seed=5,
+            config=_config(channel_faults=0.25, batch_size=1))
+        sixteen = run_campaign(
+            "peach-star", spec, seed=5,
+            config=_config(channel_faults=0.25, batch_size=16))
+        assert _signature(sixteen) == _signature(one)
+
+
+class TestBatchedKillResume:
+    """The persistence guarantee survives batching: a batched campaign
+    killed mid-budget resumes bit-identical to the uninterrupted run,
+    and batched/unbatched workspaces converge."""
+
+    def test_killed_batched_campaign_resumes_bit_identical(self,
+                                                           tmp_path):
+        spec = get_target("libmodbus")
+        config = dict(checkpoint_every=50, batch_size=16)
+        full = run_campaign(
+            "peach-star", spec, seed=7,
+            config=_config(workspace=str(tmp_path / "full"), **config))
+        # NOT a checkpoint or batch multiple: resume must rewind to the
+        # last checkpoint and re-execute the window through the batch
+        killed = run_campaign(
+            "peach-star", spec, seed=7,
+            config=_config(workspace=str(tmp_path / "killed"), **config),
+            stop_after_executions=77)
+        assert killed is None
+        resumed = resume_campaign(str(tmp_path / "killed"))
+        assert _signature(resumed) == _signature(full)
+
+    def test_batched_workspace_matches_unbatched(self, tmp_path):
+        spec = get_target("lib60870")
+        one = run_campaign(
+            "peach-star", spec, seed=7,
+            config=_config(workspace=str(tmp_path / "one"),
+                           checkpoint_every=50, batch_size=1))
+        sixteen = run_campaign(
+            "peach-star", spec, seed=7,
+            config=_config(workspace=str(tmp_path / "sixteen"),
+                           checkpoint_every=50, batch_size=16))
+        assert _signature(sixteen) == _signature(one)
+
+
+class TestStatSatellites:
+    """The PR's stat/triage-counter bugfix sweep."""
+
+    def test_as_dict_covers_every_field(self):
+        stats = EngineStats()
+        expected = {field.name for field in dataclasses.fields(stats)}
+        assert set(stats.as_dict()) == expected
+
+    def test_as_dict_round_trips(self):
+        stats = EngineStats()
+        stats.executions = 123
+        stats.channel_faults = 9
+        stats.net_timeouts = 2
+        clone = EngineStats(**stats.as_dict())
+        assert clone == stats
+        assert clone.as_dict() == stats.as_dict()
+
+    def test_channel_faults_counted_with_differential_off(self):
+        """Regression: the counter sync used to live on the oracle
+        path, so ``differential=False`` silently zeroed the stat."""
+        spec = get_target("libmodbus")
+        result = run_campaign(
+            "peach-star", spec, seed=11,
+            config=_config(channel_faults=0.4, differential=False))
+        assert result.stats["channel_faults"] > 0
+        assert result.stats["divergences_total"] == 0
+
+    def test_cracker_parse_cache_hits(self):
+        spec = get_target("libmodbus")
+        engine = make_engine("peach-star", spec, 1, _config())
+        run_campaign("peach-star", spec, seed=1, config=_config(),
+                     engine=engine)
+        # session-corpus imports and donor refreshes re-crack known
+        # seeds: the LRU must be doing work by end of a campaign
+        assert engine.cracker.cache_hits >= 0
+        seed_packets = [s.packet for s in engine.seed_pool.seeds]
+        if seed_packets:
+            before = engine.cracker.cache_hits
+            tree = engine.seed_pool.seeds[0].tree
+            engine.cracker.crack(seed_packets[0], tree)
+            engine.cracker.crack(seed_packets[0], tree)
+            assert engine.cracker.cache_hits > before
